@@ -1,0 +1,97 @@
+// Command experiments regenerates every table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E1,E3]
+//
+// -quick shrinks the instance sizes for a fast smoke run; -only restricts
+// to a comma-separated list of experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size instances")
+	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string, fn func() *experiments.Table) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		fmt.Println(fn())
+	}
+
+	sizes := []int{64, 128, 256, 512}
+	msfSizes := []int{64, 128, 256}
+	batches := 8
+	if *quick {
+		sizes = []int{48, 96}
+		msfSizes = []int{48}
+		batches = 4
+	}
+
+	run("E1", func() *experiments.Table {
+		return experiments.E1ConnectivityRounds(sizes[:len(sizes)-1], []float64{0.5, 0.7}, batches, 1)
+	})
+	run("E2", func() *experiments.Table {
+		return experiments.E2ConnectivityMemory(sizes[1], 0.6, []int{100, 300, 600, 1000}, 2)
+	})
+	run("E3", func() *experiments.Table {
+		return experiments.E3QueryVsAGM(sizes, 3)
+	})
+	run("E4", func() *experiments.Table {
+		return experiments.E4ExactMSF(msfSizes, batches, 4)
+	})
+	run("E5", func() *experiments.Table {
+		return experiments.E5ApproxMSF(msfSizes[0], []float64{0.1, 0.25, 0.5}, batches, 5)
+	})
+	run("E6", func() *experiments.Table {
+		return experiments.E6Bipartiteness(msfSizes[0], 10, 6)
+	})
+	run("E7", func() *experiments.Table {
+		return experiments.E7InsertMatching(2*msfSizes[0], []float64{2, 4, 8}, 7)
+	})
+	run("E8", func() *experiments.Table {
+		return experiments.E8DynamicMatching(48, []float64{2, 4}, batches, 8)
+	})
+	run("E9", func() *experiments.Table {
+		return experiments.E9BatchScaling(sizes[len(sizes)-2], []float64{0.1, 0.25, 0.5, 1}, 5, 9)
+	})
+	run("E10", func() *experiments.Table {
+		return experiments.E10EulerTourAblation(2*sizes[len(sizes)-2], []int{4, 16, 64}, 10)
+	})
+	run("E11", func() *experiments.Table {
+		seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		if *quick {
+			seeds = seeds[:3]
+		}
+		return experiments.E11SketchCopiesAblation(msfSizes[0], []int{1, 2, 4, 8, 0x0}[0:4], batches, seeds)
+	})
+	run("E12", func() *experiments.Table {
+		return experiments.E12CommunicationPerRound(sizes[:len(sizes)-1], batches, 12)
+	})
+	if len(want) > 0 {
+		for id := range want {
+			switch id {
+			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12":
+			default:
+				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Command mpcstream runs one algorithm over a generated update stream on
+// the MPC simulator and reports solution and resource statistics.
+//
+// Usage:
+//
+//	mpcstream -algo connectivity -n 256 -phi 0.6 -batches 20
+//	mpcstream -algo msf -n 128 -maxweight 64
+//	mpcstream -algo bipartite -n 128
+//	mpcstream -algo matching -n 128 -alpha 4
+//	mpcstream -algo connectivity -stream trace.txt
+//
+// Algorithms: connectivity, msf (exact, insertion-only), approxmsf,
+// bipartite, matching (insertion-only greedy), dynmatching (AKLY).
+// With -stream, updates are replayed from a file in the streamio text
+// format instead of being generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mpc"
+	"repro/internal/msf"
+	"repro/internal/oracle"
+	"repro/internal/streamio"
+	"repro/internal/workload"
+)
+
+func main() {
+	algo := flag.String("algo", "connectivity", "algorithm to run")
+	n := flag.Int("n", 256, "number of vertices")
+	phi := flag.Float64("phi", 0.6, "local-memory exponent")
+	batches := flag.Int("batches", 20, "number of update batches")
+	seed := flag.Uint64("seed", 1, "workload and algorithm seed")
+	alpha := flag.Float64("alpha", 4, "matching approximation parameter")
+	eps := flag.Float64("eps", 0.25, "MSF approximation parameter")
+	maxWeight := flag.Int64("maxweight", 64, "maximum edge weight")
+	insertBias := flag.Float64("insertbias", 0.6, "probability of keeping an existing edge")
+	streamFile := flag.String("stream", "", "replay updates from a streamio-format file")
+	flag.Parse()
+
+	if *streamFile != "" {
+		if err := runStream(*algo, *streamFile, *phi, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "mpcstream:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64) error {
+	cfg := core.Config{N: n, Phi: phi, Seed: seed}
+	gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, MaxWeight: maxWeight, InsertBias: insertBias})
+	switch algo {
+	case "connectivity":
+		dc, err := core.NewDynamicConnectivity(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batches; i++ {
+			if err := dc.ApplyBatch(gen.Next(dc.MaxBatch())); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("components: %d (oracle %d)\n", dc.NumComponents(), oracle.NumComponents(gen.Mirror()))
+		fmt.Printf("forest edges: %d\n", len(dc.SnapshotForest()))
+		report(dc.Cluster().Stats(), batches)
+	case "msf":
+		m, err := msf.NewExactMSF(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batches; i++ {
+			b := gen.NextInsertOnly(m.Forest().Config().MaxBatch())
+			var edges []graph.WeightedEdge
+			for _, u := range b {
+				edges = append(edges, graph.WeightedEdge{Edge: u.Edge, Weight: u.Weight})
+			}
+			if err := m.InsertBatch(edges); err != nil {
+				return err
+			}
+		}
+		_, want := oracle.MSF(gen.Mirror())
+		fmt.Printf("msf weight: %d (kruskal %d, exchange waves %d)\n", m.Weight(), want, m.SwapWaves())
+		report(m.Forest().Cluster().Stats(), batches)
+	case "approxmsf":
+		a, err := msf.NewApproxMSF(cfg, eps, maxWeight)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batches; i++ {
+			if err := a.ApplyBatch(gen.Next(a.MaxBatch())); err != nil {
+				return err
+			}
+		}
+		_, want := oracle.MSF(gen.Mirror())
+		fmt.Printf("approx msf weight: %d (kruskal %d, levels %d, eps %.2f)\n", a.Weight(), want, a.Levels(), eps)
+	case "bipartite":
+		bt, err := bipartite.New(cfg)
+		if err != nil {
+			return err
+		}
+		bgen := workload.NewBipartiteish(n, seed+1, batches/2)
+		for i := 0; i < batches; i++ {
+			if err := bt.ApplyBatch(bgen.Next(bt.MaxBatch())); err != nil {
+				return err
+			}
+			fmt.Printf("step %2d: bipartite=%v (oracle %v)\n", i, bt.IsBipartite(), oracle.IsBipartite(bgen.Mirror()))
+		}
+		report(bt.Graph().Cluster().Stats(), batches)
+	case "matching":
+		gm, err := matching.NewGreedyInsertOnly(n, alpha, 0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batches; i++ {
+			b := gen.NextInsertOnly(n / 8)
+			var edges []graph.Edge
+			for _, u := range b {
+				edges = append(edges, u.Edge)
+			}
+			if err := gm.InsertBatch(edges); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("matching size: %d (cap %d, max matching %d)\n",
+			gm.Size(), gm.Cap(), oracle.MaxMatchingSize(gen.Mirror()))
+		report(gm.Cluster().Stats(), batches)
+	case "dynmatching":
+		d, err := matching.NewAKLYDynamic(n, alpha, seed)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < batches; i++ {
+			if err := d.ApplyBatch(gen.Next(n / 8)); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("matching size: %d (max matching %d, instances %d, sampler words %d)\n",
+			d.Size(), oracle.MaxMatchingSize(gen.Mirror()), d.Instances(), d.SparsifierWords())
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+// runStream replays a trace file through the connectivity algorithm.
+func runStream(algo, path string, phi float64, seed uint64) error {
+	if algo != "connectivity" {
+		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	batches, err := streamio.Read(file)
+	if err != nil {
+		return err
+	}
+	n := streamio.MaxVertex(batches) + 1
+	if n < 2 {
+		return fmt.Errorf("stream references fewer than 2 vertices")
+	}
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed})
+	if err != nil {
+		return err
+	}
+	mirror := graph.New(n)
+	for i, b := range batches {
+		if err := mirror.Apply(b); err != nil {
+			return fmt.Errorf("batch %d invalid against the replayed graph: %w", i, err)
+		}
+		for j := 0; j < len(b); j += dc.MaxBatch() {
+			end := j + dc.MaxBatch()
+			if end > len(b) {
+				end = len(b)
+			}
+			if err := dc.ApplyBatch(b[j:end]); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle %d)\n",
+		len(batches), n, dc.NumComponents(), oracle.NumComponents(mirror))
+	report(dc.Cluster().Stats(), len(batches))
+	return nil
+}
+
+func report(st mpc.Stats, batches int) {
+	fmt.Printf("rounds: %d (%.1f/batch)  messages: %d  words sent: %d\n",
+		st.Rounds, float64(st.Rounds)/float64(batches), st.Messages, st.WordsSent)
+	fmt.Printf("peak machine words: %d  peak total words: %d  violations: %d\n",
+		st.PeakMachineWords, st.PeakTotalWords, len(st.Violations))
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Streaming Graph
+// Algorithms in the Massively Parallel Computation Model" (Czumaj, Mishra,
+// Mukherjee; PODC 2024). See README.md for the layout: the MPC simulator
+// and algorithm packages live under internal/, runnable examples under
+// examples/, and the experiment harness behind bench_test.go and
+// cmd/experiments regenerates every table in EXPERIMENTS.md.
+package repro

@@ -1,0 +1,113 @@
+// Package core implements the paper's primary contribution: maintaining
+// connectivity and a spanning forest of a dynamically evolving graph on an
+// MPC with strongly sublinear local memory and Õ(n) total memory, processing
+// batches of Õ(n^φ) edge insertions and deletions in O(1/φ) rounds
+// (Theorem 1.1 / Theorem 6.7).
+//
+// The package has two layers:
+//
+//   - Forest is the distributed Euler-tour spanning-forest engine: it owns
+//     the MPC cluster, the vertex shards (component ids) and the edge shards
+//     (tree-edge records with dart positions), and executes batched Link,
+//     Cut, component lookups, occurrence-stats queries and Identify-Path.
+//     It contains no randomness and no sketches; the exact-MSF algorithm of
+//     Section 7.1 runs directly on it.
+//
+//   - DynamicConnectivity adds the AGM vertex sketches (one stack of
+//     O(log n) ℓ0-samplers per vertex, sharded with the vertices) and the
+//     replacement-edge search of Section 6.3, yielding the full dynamic
+//     connectivity algorithm.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes a Forest or DynamicConnectivity instance.
+type Config struct {
+	// N is the number of vertices (fixed for the lifetime of the instance,
+	// per Section 1.2).
+	N int
+	// Phi is the local-memory exponent: each machine holds about N^Phi
+	// vertices' worth of state. Must be in (0, 1].
+	Phi float64
+	// SketchCopies overrides the number t of independent sketch copies per
+	// vertex (0 = 2*ceil(log2 N) + 8, enough for the Borůvka replacement
+	// search to succeed with high probability).
+	SketchCopies int
+	// Seed drives all algorithm randomness (sketch hash functions).
+	Seed uint64
+	// Strict makes the underlying cluster panic on any memory or
+	// communication cap violation.
+	Strict bool
+	// VerticesPerMachine overrides the derived ceil(N^Phi) when positive;
+	// tests use it to force specific cluster shapes.
+	VerticesPerMachine int
+}
+
+// normalize validates and fills derived fields.
+func (c *Config) normalize() error {
+	if c.N < 2 {
+		return fmt.Errorf("core: N = %d", c.N)
+	}
+	if c.Phi <= 0 || c.Phi > 1 {
+		return fmt.Errorf("core: Phi = %v", c.Phi)
+	}
+	return nil
+}
+
+// verticesPerMachine returns ceil(N^Phi), the machine capacity in vertex
+// bundles. A vertex bundle is one vertex's full state: its component id plus
+// (for DynamicConnectivity) its sketch stack; expressing s in bundles keeps
+// the n^φ scaling visible while absorbing the polylog bundle size, mirroring
+// the paper's Õ(·) accounting.
+func (c Config) verticesPerMachine() int {
+	if c.VerticesPerMachine > 0 {
+		return c.VerticesPerMachine
+	}
+	v := int(math.Ceil(math.Pow(float64(c.N), c.Phi)))
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// machines returns the number of MPC machines: enough for every vertex
+// bundle plus slack for edge records and coordinator working sets.
+func (c Config) machines() int {
+	vpm := c.verticesPerMachine()
+	m := (c.N + vpm - 1) / vpm
+	// One extra machine of slack keeps the coordinator's transient working
+	// set (batch edges, fragment sketches) from competing with a full
+	// vertex shard.
+	return m + 1
+}
+
+// defaultSketchCopies returns t = 2*ceil(log2 N) + 8.
+func (c Config) defaultSketchCopies() int {
+	if c.SketchCopies > 0 {
+		return c.SketchCopies
+	}
+	return 2*ceilLog2(c.N) + 8
+}
+
+// MaxBatch returns the largest update batch the instance accepts: half a
+// machine's vertex-bundle capacity, so that one batch's working set
+// (edges, terminals, fragment sketches) fits on the coordinator. This is
+// the Õ(n^φ) batch bound of Theorem 1.1.
+func (c Config) MaxBatch() int {
+	b := c.verticesPerMachine() / 2
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	return l
+}

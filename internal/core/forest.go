@@ -1,0 +1,1070 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eulertour"
+	"repro/internal/graph"
+	"repro/internal/hash"
+	"repro/internal/mpc"
+)
+
+// Machine store slot names.
+const (
+	slotVertex = "v" // vertexShard
+	slotEdge   = "e" // edgeShard
+	slotBcast  = "b" // transient broadcast payloads
+)
+
+// vertexShard is the per-machine vertex state: the component id of every
+// owned vertex and, transiently after a Cut, the fragment key of affected
+// vertices.
+type vertexShard struct {
+	lo, hi int
+	comp   []int
+	frag   map[int]uint64
+	// sketchWords is the footprint of the connectivity sketches stored by
+	// the owning DynamicConnectivity (0 for a bare Forest); it is included
+	// here so the shard's Words reflect the whole vertex bundle.
+	sketchWords int
+}
+
+// Words implements mpc.Sized.
+func (s *vertexShard) Words() int {
+	return len(s.comp) + 2*len(s.frag) + s.sketchWords + 2
+}
+
+func (s *vertexShard) owns(v int) bool { return v >= s.lo && v < s.hi }
+
+func (s *vertexShard) compOf(v int) int { return s.comp[v-s.lo] }
+
+func (s *vertexShard) setComp(v, c int) { s.comp[v-s.lo] = c }
+
+// treeEdge is one tree-edge record plus its weight (weights are carried only
+// by weighted forests; zero otherwise).
+type treeEdge struct {
+	rec    eulertour.Record
+	weight int64
+}
+
+// edgeShard holds the tree-edge records hash-assigned to one machine.
+type edgeShard struct {
+	recs map[graph.Edge]*treeEdge
+}
+
+// Words implements mpc.Sized.
+func (s *edgeShard) Words() int { return 8*len(s.recs) + 1 }
+
+// fragment keys combine tours and singleton vertices in one key space.
+const fragVertexBit = uint64(1) << 62
+
+func fragKeyOfTour(t eulertour.TourID) uint64 { return uint64(t) }
+
+func fragKeyOfVertex(v int) uint64 { return fragVertexBit | uint64(v) }
+
+// Forest is the distributed Euler-tour spanning-forest engine (Sections 5
+// and 6 without the sketches). All public operations are executed on the
+// MPC cluster in O(1) collective operations, each costing O(1/φ) rounds.
+type Forest struct {
+	cfg      Config
+	cl       *mpc.Cluster
+	part     mpc.Partition
+	coord    int
+	weighted bool
+	edgeHash *hash.Family
+	nextID   uint64 // coordinator-local tour-id counter
+}
+
+// NewForest creates an unweighted forest engine on n = cfg.N vertices, all
+// initially singletons.
+func NewForest(cfg Config) (*Forest, error) { return newForest(cfg, false, 0) }
+
+// NewWeightedForest creates a forest engine whose tree edges carry weights,
+// as needed by the exact-MSF algorithm of Section 7.1.
+func NewWeightedForest(cfg Config) (*Forest, error) { return newForest(cfg, true, 0) }
+
+// newForest builds the cluster and shards; sketchWords reserves per-vertex
+// budget for a DynamicConnectivity's sketches.
+func newForest(cfg Config, weighted bool, sketchWords int) (*Forest, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	vpm := cfg.verticesPerMachine()
+	m := cfg.machines()
+	// A vertex bundle: component id, amortized share of edge records and
+	// transient fragment entries, plus sketches.
+	bundle := 64 + sketchWords
+	cl := mpc.NewCluster(mpc.Config{
+		Machines:    m,
+		LocalMemory: vpm * bundle,
+		Strict:      cfg.Strict,
+	})
+	f := &Forest{
+		cfg:      cfg,
+		cl:       cl,
+		part:     mpc.Partition{N: cfg.N, Machines: m - 1},
+		coord:    m - 1,
+		weighted: weighted,
+		edgeHash: hash.NewPairwise(hash.NewPRG(cfg.Seed ^ 0x9d5f)),
+		nextID:   1,
+	}
+	cl.LocalAll(func(mm *mpc.Machine) {
+		if mm.ID != f.coord {
+			lo, hi := f.part.Range(mm.ID)
+			vs := &vertexShard{lo: lo, hi: hi, comp: make([]int, hi-lo), frag: map[int]uint64{}}
+			for v := lo; v < hi; v++ {
+				vs.comp[v-lo] = v
+			}
+			mm.Set(slotVertex, vs)
+		}
+		mm.Set(slotEdge, &edgeShard{recs: map[graph.Edge]*treeEdge{}})
+	})
+	return f, nil
+}
+
+// Cluster exposes the underlying cluster for metering.
+func (f *Forest) Cluster() *mpc.Cluster { return f.cl }
+
+// Config returns the instance configuration.
+func (f *Forest) Config() Config { return f.cfg }
+
+// nextTour returns a fresh tour id (coordinator-local state).
+func (f *Forest) nextTour() eulertour.TourID {
+	id := f.nextID
+	f.nextID++
+	return eulertour.TourID(id)
+}
+
+// vShard returns machine mm's vertex shard, or nil for the coordinator.
+func vShard(mm *mpc.Machine) *vertexShard {
+	s, _ := mm.Get(slotVertex).(*vertexShard)
+	return s
+}
+
+func eShard(mm *mpc.Machine) *edgeShard {
+	return mm.Get(slotEdge).(*edgeShard)
+}
+
+// edgeOwner returns the machine storing (or destined to store) edge e.
+func (f *Forest) edgeOwner(e graph.Edge) int {
+	return int(f.edgeHash.Hash(e.ID(f.cfg.N)) % uint64(f.cl.Machines()))
+}
+
+// broadcast sends a payload from the coordinator to every machine under the
+// transient slot.
+func (f *Forest) broadcast(payload mpc.Sized) {
+	f.cl.Broadcast(f.coord, slotBcast, payload)
+}
+
+// aggregateMaps tree-combines per-machine map[int]int partials (merged with
+// mergeFn on key collisions) to the coordinator.
+func (f *Forest) aggregateMaps(collect func(mm *mpc.Machine) map[int]int, mergeFn func(a, b int) int) map[int]int {
+	res := f.cl.Aggregate(f.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			m := collect(mm)
+			if len(m) == 0 {
+				return nil
+			}
+			return mpc.Value{V: m, N: 2 * len(m)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[int]int)
+			for k, v := range b.(mpc.Value).V.(map[int]int) {
+				if cur, ok := am[k]; ok {
+					am[k] = mergeFn(cur, v)
+				} else {
+					am[k] = v
+				}
+			}
+			return mpc.Value{V: am, N: 2 * len(am)}
+		},
+	)
+	if res == nil {
+		return map[int]int{}
+	}
+	return res.(mpc.Value).V.(map[int]int)
+}
+
+// Components resolves the component ids of the given vertices with one
+// broadcast and one aggregation (O(1/φ) rounds).
+func (f *Forest) Components(vertices []int) map[int]int {
+	q := uniqueInts(vertices)
+	f.broadcast(mpc.Ints(q))
+	return f.aggregateMaps(func(mm *mpc.Machine) map[int]int {
+		vs := vShard(mm)
+		if vs == nil {
+			return nil
+		}
+		out := map[int]int{}
+		for _, v := range mm.Get(slotBcast).(mpc.Ints) {
+			if vs.owns(v) {
+				out[v] = vs.compOf(v)
+			}
+		}
+		return out
+	}, func(a, _ int) int { return a })
+}
+
+// compSizes counts the vertices of each listed component.
+func (f *Forest) compSizes(keys []int) map[int]int {
+	q := uniqueInts(keys)
+	f.broadcast(mpc.Ints(q))
+	return f.aggregateMaps(func(mm *mpc.Machine) map[int]int {
+		vs := vShard(mm)
+		if vs == nil {
+			return nil
+		}
+		want := map[int]bool{}
+		for _, k := range mm.Get(slotBcast).(mpc.Ints) {
+			want[k] = true
+		}
+		out := map[int]int{}
+		for i := range vs.comp {
+			if want[vs.comp[i]] {
+				out[vs.comp[i]]++
+			}
+		}
+		return out
+	}, func(a, b int) int { return a + b })
+}
+
+// NumComponents counts the components of the maintained graph: with the
+// minimum-id convention, a vertex heads a component iff comp[v] == v.
+func (f *Forest) NumComponents() int {
+	res := f.cl.Aggregate(f.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			vs := vShard(mm)
+			if vs == nil {
+				return nil
+			}
+			n := 0
+			for i := range vs.comp {
+				if vs.comp[i] == vs.lo+i {
+					n++
+				}
+			}
+			return mpc.Word(uint64(n))
+		},
+		func(a, b mpc.Sized) mpc.Sized { return mpc.Word(uint64(a.(mpc.Word)) + uint64(b.(mpc.Word))) },
+	)
+	if res == nil {
+		return 0
+	}
+	return int(uint64(res.(mpc.Word)))
+}
+
+// statsQuery is the broadcast form of a batched f/l query.
+type statsQuery struct{ vertices []int }
+
+func (q statsQuery) Words() int { return len(q.vertices) }
+
+// Stats resolves occurrence statistics (tour, f, l) for the given vertices
+// by scanning the edge shards and tree-aggregating min/max (O(1/φ) rounds).
+// Singleton vertices come back with Tour == NoTour.
+func (f *Forest) Stats(vertices []int) map[int]eulertour.VertexStats {
+	q := uniqueInts(vertices)
+	f.broadcast(statsQuery{vertices: q})
+	merged := f.cl.Aggregate(f.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			es := eShard(mm)
+			query := mm.Get(slotBcast).(statsQuery).vertices
+			want := map[int]bool{}
+			for _, v := range query {
+				want[v] = true
+			}
+			out := map[int]eulertour.VertexStats{}
+			for _, te := range es.recs {
+				for _, v := range []int{te.rec.E.U, te.rec.E.V} {
+					if !want[v] {
+						continue
+					}
+					ps := te.rec.PositionsOf(v)
+					st, ok := out[v]
+					if !ok {
+						out[v] = eulertour.VertexStats{Tour: te.rec.Tour, F: ps[0], L: ps[1]}
+						continue
+					}
+					if ps[0] < st.F {
+						st.F = ps[0]
+					}
+					if ps[1] > st.L {
+						st.L = ps[1]
+					}
+					out[v] = st
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return mpc.Value{V: out, N: 4 * len(out)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[int]eulertour.VertexStats)
+			for v, st := range b.(mpc.Value).V.(map[int]eulertour.VertexStats) {
+				cur, ok := am[v]
+				if !ok {
+					am[v] = st
+					continue
+				}
+				if st.F < cur.F {
+					cur.F = st.F
+				}
+				if st.L > cur.L {
+					cur.L = st.L
+				}
+				am[v] = cur
+			}
+			return mpc.Value{V: am, N: 4 * len(am)}
+		},
+	)
+	out := map[int]eulertour.VertexStats{}
+	if merged != nil {
+		out = merged.(mpc.Value).V.(map[int]eulertour.VertexStats)
+	}
+	for _, v := range q {
+		if _, ok := out[v]; !ok {
+			out[v] = eulertour.VertexStats{Tour: eulertour.NoTour}
+		}
+	}
+	return out
+}
+
+// cutQueryPayload is the broadcast form of the stage-2 join query.
+type cutQueryPayload struct{ qs []eulertour.CutQuery }
+
+func (q cutQueryPayload) Words() int { return 2 * len(q.qs) }
+
+// minAbove resolves, for each query, the smallest occurrence of the vertex
+// strictly above the cut (0 when none).
+func (f *Forest) minAbove(qs []eulertour.CutQuery) map[int]eulertour.Pos {
+	if len(qs) == 0 {
+		return map[int]eulertour.Pos{}
+	}
+	f.broadcast(cutQueryPayload{qs: qs})
+	res := f.aggregateMaps(func(mm *mpc.Machine) map[int]int {
+		es := eShard(mm)
+		queries := mm.Get(slotBcast).(cutQueryPayload).qs
+		out := map[int]int{}
+		for _, te := range es.recs {
+			for _, q := range queries {
+				if !te.rec.E.Has(q.Vertex) {
+					continue
+				}
+				for _, p := range te.rec.PositionsOf(q.Vertex) {
+					if p > q.Cut && (out[q.Vertex] == 0 || p < out[q.Vertex]) {
+						out[q.Vertex] = p
+					}
+				}
+			}
+		}
+		return out
+	}, func(a, b int) int {
+		if a == 0 {
+			return b
+		}
+		if b == 0 {
+			return a
+		}
+		if a < b {
+			return a
+		}
+		return b
+	})
+	out := map[int]eulertour.Pos{}
+	for _, q := range qs {
+		out[q.Vertex] = 0 // "no occurrence above the cut" is a valid answer
+	}
+	for v, p := range res {
+		out[v] = p
+	}
+	return out
+}
+
+// relabelPayload broadcasts a batch of relabel descriptors plus the edges to
+// drop and the component re-labeling.
+type relabelPayload struct {
+	relabels []eulertour.Relabel
+	compMap  map[int]int // old comp id -> new comp id (joins)
+}
+
+func (p relabelPayload) Words() int { return 5*len(p.relabels) + 2*len(p.compMap) }
+
+// recordsPayload carries new tree-edge records to their shard owners.
+type recordsPayload struct {
+	records []treeEdge
+}
+
+func (p recordsPayload) Words() int { return 8 * len(p.records) }
+
+// Link inserts a batch of tree edges. Every edge must connect two distinct
+// current components, and the batch must contain at most one edge per
+// component pair and no cycles over components (i.e. it must be a spanning
+// forest of the auxiliary graph H, as produced by the connectivity
+// algorithm or by MSF's per-pair minimum filter). Weights are stored only by
+// weighted forests.
+func (f *Forest) Link(edges []graph.WeightedEdge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	if len(edges) > f.cfg.MaxBatch() {
+		return fmt.Errorf("core: batch of %d exceeds MaxBatch %d", len(edges), f.cfg.MaxBatch())
+	}
+	f.clearFrags()
+	var endpoints []int
+	plainEdges := make([]graph.Edge, len(edges))
+	weightOf := map[graph.Edge]int64{}
+	for i, e := range edges {
+		plainEdges[i] = e.Edge.Canonical()
+		weightOf[plainEdges[i]] = e.Weight
+		endpoints = append(endpoints, e.U, e.V)
+	}
+	labels := f.Components(endpoints)
+	compSet := map[int]bool{}
+	for _, v := range endpoints {
+		compSet[labels[v]] = true
+	}
+	keys := make([]int, 0, len(compSet))
+	for k := range compSet {
+		keys = append(keys, k)
+	}
+	sizes := f.compSizes(keys)
+
+	planner, err := f.preparePlanner(plainEdges, labels, sizes)
+	if err != nil {
+		return err
+	}
+	res, err := planner.Plan(f.nextTour)
+	if err != nil {
+		return err
+	}
+	// Component relabeling: every merged group takes the minimum member key.
+	compMap := map[int]int{}
+	for _, nt := range res.Tours {
+		newComp := nt.Comps[0]
+		for _, c := range nt.Comps[1:] {
+			if c < newComp {
+				newComp = c
+			}
+		}
+		for _, c := range nt.Comps {
+			compMap[c] = newComp
+		}
+	}
+	f.applyRelabels(res.Relabels, compMap, nil)
+	// Route the new records to their shard owners.
+	newRecs := res.NewRecords
+	f.cl.Scatter(f.coord,
+		func(mm *mpc.Machine) []mpc.Message {
+			byOwner := map[int][]treeEdge{}
+			for _, r := range newRecs {
+				byOwner[f.edgeOwner(r.E)] = append(byOwner[f.edgeOwner(r.E)], treeEdge{rec: r, weight: weightOf[r.E]})
+			}
+			var out []mpc.Message
+			for owner, rs := range byOwner {
+				out = append(out, mpc.Message{To: owner, Payload: recordsPayload{records: rs}})
+			}
+			return out
+		},
+		func(mm *mpc.Machine, msg mpc.Message) {
+			es := eShard(mm)
+			for _, te := range msg.Payload.(recordsPayload).records {
+				cp := te
+				es.recs[te.rec.E] = &cp
+			}
+		},
+	)
+	return nil
+}
+
+// preparePlanner runs the planner's staged distributed queries.
+func (f *Forest) preparePlanner(edges []graph.Edge, labels map[int]int, sizes map[int]int) (*eulertour.JoinPlanner, error) {
+	var terminals []int
+	for _, e := range edges {
+		terminals = append(terminals, e.U, e.V)
+	}
+	stats := f.Stats(terminals)
+	var comps []eulertour.CompInfo
+	seen := map[int]bool{}
+	for _, v := range terminals {
+		c := labels[v]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		info := eulertour.CompInfo{Key: c, Size: sizes[c], Tour: eulertour.NoTour}
+		if info.Size > 1 {
+			// Any terminal of the component knows its tour.
+			for _, w := range terminals {
+				if labels[w] == c && stats[w].Tour != eulertour.NoTour {
+					info.Tour = stats[w].Tour
+					break
+				}
+			}
+			if info.Tour == eulertour.NoTour {
+				return nil, fmt.Errorf("core: component %d of size %d has no tour", c, info.Size)
+			}
+		}
+		comps = append(comps, info)
+	}
+	planner, err := eulertour.NewJoinPlanner(comps, edges, func(v int) int { return labels[v] })
+	if err != nil {
+		return nil, err
+	}
+	if err := planner.SetStats(stats); err != nil {
+		return nil, err
+	}
+	planner.SetMinAbove(f.minAbove(planner.CutQueries()))
+	return planner, nil
+}
+
+// applyRelabels broadcasts relabel descriptors plus a component map and
+// applies both on every machine; dropEdges lists records to delete first.
+func (f *Forest) applyRelabels(relabels []eulertour.Relabel, compMap map[int]int, dropEdges []graph.Edge) {
+	payload := relabelPayload{relabels: relabels, compMap: compMap}
+	f.broadcast(payload)
+	drop := map[graph.Edge]bool{}
+	for _, e := range dropEdges {
+		drop[e.Canonical()] = true
+	}
+	f.cl.LocalAll(func(mm *mpc.Machine) {
+		p := mm.Get(slotBcast).(relabelPayload)
+		set := eulertour.NewRelabelSet(p.relabels)
+		es := eShard(mm)
+		for e, te := range es.recs {
+			if drop[e] {
+				delete(es.recs, e)
+				continue
+			}
+			if err := set.ApplyToRecord(&te.rec); err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+		}
+		if vs := vShard(mm); vs != nil && len(p.compMap) > 0 {
+			for i, c := range vs.comp {
+				if nc, ok := p.compMap[c]; ok {
+					vs.comp[i] = nc
+				}
+			}
+		}
+	})
+}
+
+// clearFrags drops the transient fragment maps left by the previous Cut.
+func (f *Forest) clearFrags() {
+	f.cl.LocalAll(func(mm *mpc.Machine) {
+		if vs := vShard(mm); vs != nil && len(vs.frag) > 0 {
+			vs.frag = map[int]uint64{}
+		}
+	})
+}
+
+// CutReport describes the outcome of a batch Cut.
+type CutReport struct {
+	// TreeRecords are the pre-split records of the deleted edges that were
+	// tree edges (with their weights for weighted forests).
+	TreeRecords []eulertour.Record
+	// TreeWeights holds the weight of each tree record, aligned with
+	// TreeRecords.
+	TreeWeights []int64
+	// NonTree lists the deleted edges that were not in the forest.
+	NonTree []graph.Edge
+	// AffectedComps are the component ids (before the cut) of the split
+	// components.
+	AffectedComps []int
+	// FragmentComps are the component ids (after the cut) of the resulting
+	// fragments, including singletons.
+	FragmentComps []int
+}
+
+// edgeListPayload broadcasts a set of edges.
+type edgeListPayload struct{ edges []graph.Edge }
+
+func (p edgeListPayload) Words() int { return 2 * len(p.edges) }
+
+// Cut deletes a batch of edges from the forest. Edges not currently in the
+// forest are reported as NonTree and otherwise ignored (the caller updates
+// any side structures such as sketches). Tree edges are removed, the
+// affected Euler tours are split into fragments in O(1) collective
+// operations, and component ids are re-assigned per fragment. The transient
+// vertex->fragment mapping remains available to the caller (via
+// aggregateFragments) until the next Link or Cut.
+func (f *Forest) Cut(edges []graph.Edge) (*CutReport, error) {
+	if len(edges) == 0 {
+		return &CutReport{}, nil
+	}
+	if len(edges) > f.cfg.MaxBatch() {
+		return nil, fmt.Errorf("core: batch of %d exceeds MaxBatch %d", len(edges), f.cfg.MaxBatch())
+	}
+	f.clearFrags()
+	canon := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		canon[i] = e.Canonical()
+	}
+	// Locate (and implicitly claim) the tree records among the deletions.
+	f.broadcast(edgeListPayload{edges: canon})
+	gathered := f.cl.Gather(f.coord, func(mm *mpc.Machine) mpc.Sized {
+		es := eShard(mm)
+		var found []treeEdge
+		for _, e := range mm.Get(slotBcast).(edgeListPayload).edges {
+			if te, ok := es.recs[e]; ok {
+				found = append(found, *te)
+			}
+		}
+		if len(found) == 0 {
+			return nil
+		}
+		return recordsPayload{records: found}
+	})
+	report := &CutReport{}
+	deletedByEdge := map[graph.Edge]treeEdge{}
+	for _, payload := range gathered {
+		for _, te := range payload.(recordsPayload).records {
+			deletedByEdge[te.rec.E] = te
+		}
+	}
+	var deletedRecs []eulertour.Record
+	for _, e := range canon {
+		if te, ok := deletedByEdge[e]; ok {
+			report.TreeRecords = append(report.TreeRecords, te.rec)
+			report.TreeWeights = append(report.TreeWeights, te.weight)
+			deletedRecs = append(deletedRecs, te.rec)
+		} else {
+			report.NonTree = append(report.NonTree, e)
+		}
+	}
+	if len(deletedRecs) == 0 {
+		return report, nil
+	}
+	// Affected components: the components of the deleted tree edges.
+	var endpoints []int
+	for _, r := range deletedRecs {
+		endpoints = append(endpoints, r.E.U, r.E.V)
+	}
+	labels := f.Components(endpoints)
+	affected := map[int]bool{}
+	for _, v := range endpoints {
+		affected[labels[v]] = true
+	}
+	report.AffectedComps = sortedKeys(affected)
+	// Tour lengths: remaining records per tour, plus the deleted ones.
+	delPerTour := map[eulertour.TourID]int{}
+	for _, r := range deletedRecs {
+		delPerTour[r.Tour]++
+	}
+	var tourList []int
+	for t := range delPerTour {
+		tourList = append(tourList, int(t))
+	}
+	f.broadcast(mpc.Ints(tourList))
+	counts := f.aggregateMaps(func(mm *mpc.Machine) map[int]int {
+		es := eShard(mm)
+		want := map[eulertour.TourID]bool{}
+		for _, t := range mm.Get(slotBcast).(mpc.Ints) {
+			want[eulertour.TourID(t)] = true
+		}
+		out := map[int]int{}
+		for _, te := range es.recs {
+			if want[te.rec.Tour] {
+				out[int(te.rec.Tour)]++
+			}
+		}
+		return out
+	}, func(a, b int) int { return a + b })
+	tourLens := map[eulertour.TourID]int{}
+	for t := range delPerTour {
+		// The records are still present at count time, so the count is the
+		// full pre-split edge count of the tour.
+		tourLens[t] = 4 * counts[int(t)]
+	}
+	plan, err := eulertour.PlanSplit(tourLens, deletedRecs, f.nextTour)
+	if err != nil {
+		return nil, err
+	}
+	// Broadcast relabels; drop deleted records; apply to survivors; then
+	// push fragment membership from edge shards to vertex shards.
+	f.applyRelabels(plan.Relabels, nil, canon)
+	splitTours := map[eulertour.TourID]bool{}
+	for t := range delPerTour {
+		splitTours[t] = true
+	}
+	newTours := map[eulertour.TourID]bool{}
+	for _, fr := range plan.Fragments {
+		if fr.Tour != eulertour.NoTour {
+			newTours[fr.Tour] = true
+		}
+	}
+	f.pushFragments(newTours, affected)
+	// Assign fragment component ids: min vertex id per fragment.
+	fragMin := f.aggregateFragmentMins()
+	compByFrag := map[uint64]int{}
+	for k, minV := range fragMin {
+		compByFrag[k] = minV
+	}
+	fragComps := map[int]bool{}
+	for _, c := range compByFrag {
+		fragComps[c] = true
+	}
+	report.FragmentComps = sortedKeys(fragComps)
+	f.broadcastFragComps(compByFrag)
+	return report, nil
+}
+
+// pushFragments has edge shards announce, for every record now on a fresh
+// tour, the fragment of its endpoints; vertex shards record the mapping and
+// mark message-less affected vertices as singletons.
+func (f *Forest) pushFragments(newTours map[eulertour.TourID]bool, affectedComps map[int]bool) {
+	type fragMsg struct {
+		pairs [][2]uint64 // (vertex, fragment key)
+	}
+	// Step 1: edge shards emit deduplicated (vertex, frag) pairs.
+	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		es := eShard(mm)
+		byOwner := map[int]map[uint64]uint64{}
+		for _, te := range es.recs {
+			if !newTours[te.rec.Tour] {
+				continue
+			}
+			key := fragKeyOfTour(te.rec.Tour)
+			for _, v := range []int{te.rec.E.U, te.rec.E.V} {
+				owner := f.part.Owner(v)
+				if byOwner[owner] == nil {
+					byOwner[owner] = map[uint64]uint64{}
+				}
+				byOwner[owner][uint64(v)] = key
+			}
+		}
+		var out []mpc.Message
+		for owner, pairs := range byOwner {
+			msg := fragMsg{}
+			for v, k := range pairs {
+				msg.pairs = append(msg.pairs, [2]uint64{v, k})
+			}
+			out = append(out, mpc.Message{To: owner, Payload: mpc.Value{V: msg, N: 2 * len(msg.pairs)}})
+		}
+		return out
+	})
+	// Step 2: vertex shards absorb the mapping.
+	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		vs := vShard(mm)
+		if vs == nil {
+			return nil
+		}
+		for _, msg := range inbox {
+			for _, pr := range msg.Payload.(mpc.Value).V.(fragMsg).pairs {
+				vs.frag[int(pr[0])] = pr[1]
+			}
+		}
+		// Affected vertices with no fragment message are singletons now.
+		for i := range vs.comp {
+			v := vs.lo + i
+			if affectedComps[vs.comp[i]] {
+				if _, ok := vs.frag[v]; !ok {
+					vs.frag[v] = fragKeyOfVertex(v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// aggregateFragmentMins computes min vertex id per fragment key.
+func (f *Forest) aggregateFragmentMins() map[uint64]int {
+	res := f.cl.Aggregate(f.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			vs := vShard(mm)
+			if vs == nil || len(vs.frag) == 0 {
+				return nil
+			}
+			out := map[uint64]int{}
+			for v, k := range vs.frag {
+				if cur, ok := out[k]; !ok || v < cur {
+					out[k] = v
+				}
+			}
+			return mpc.Value{V: out, N: 2 * len(out)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[uint64]int)
+			for k, v := range b.(mpc.Value).V.(map[uint64]int) {
+				if cur, ok := am[k]; !ok || v < cur {
+					am[k] = v
+				}
+			}
+			return mpc.Value{V: am, N: 2 * len(am)}
+		},
+	)
+	if res == nil {
+		return map[uint64]int{}
+	}
+	return res.(mpc.Value).V.(map[uint64]int)
+}
+
+// broadcastFragComps assigns comp[v] = compByFrag[frag[v]] on all shards.
+func (f *Forest) broadcastFragComps(compByFrag map[uint64]int) {
+	f.broadcast(mpc.Value{V: compByFrag, N: 2 * len(compByFrag)})
+	f.cl.LocalAll(func(mm *mpc.Machine) {
+		vs := vShard(mm)
+		if vs == nil {
+			return
+		}
+		m := mm.Get(slotBcast).(mpc.Value).V.(map[uint64]int)
+		for v, k := range vs.frag {
+			if c, ok := m[k]; ok {
+				vs.setComp(v, c)
+			}
+		}
+	})
+}
+
+// pathQuery carries a batch of Identify-Path requests: vertex pairs with
+// their occurrence intervals.
+type pathQuery struct {
+	pairs []pathPair
+}
+
+type pathPair struct {
+	idx            int
+	tour           eulertour.TourID
+	fu, lu, fv, lv eulertour.Pos
+}
+
+func (q pathQuery) Words() int { return 6 * len(q.pairs) }
+
+// HeaviestOnPaths executes a batch of Identify-Path operations (Section 7.1,
+// Lemma 7.2): for each pair (u, v) in the same tree, it returns the
+// maximum-weight edge on the unique tree path between them. Pairs in
+// different trees or equal pairs yield no entry. Costs O(1) collective
+// operations.
+func (f *Forest) HeaviestOnPaths(pairs [][2]int) (map[int]graph.WeightedEdge, error) {
+	if len(pairs) == 0 {
+		return map[int]graph.WeightedEdge{}, nil
+	}
+	if len(pairs) > f.cfg.MaxBatch() {
+		return nil, fmt.Errorf("core: batch of %d exceeds MaxBatch %d", len(pairs), f.cfg.MaxBatch())
+	}
+	var vertices []int
+	for _, p := range pairs {
+		vertices = append(vertices, p[0], p[1])
+	}
+	stats := f.Stats(vertices)
+	q := pathQuery{}
+	for i, p := range pairs {
+		su, sv := stats[p[0]], stats[p[1]]
+		if su.Tour == eulertour.NoTour || su.Tour != sv.Tour {
+			continue
+		}
+		q.pairs = append(q.pairs, pathPair{
+			idx: i, tour: su.Tour, fu: su.F, lu: su.L, fv: sv.F, lv: sv.L,
+		})
+	}
+	f.broadcast(q)
+	res := f.cl.Aggregate(f.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			es := eShard(mm)
+			query := mm.Get(slotBcast).(pathQuery)
+			out := map[int]graph.WeightedEdge{}
+			for _, te := range es.recs {
+				for _, pr := range query.pairs {
+					if te.rec.Tour != pr.tour {
+						continue
+					}
+					if !eulertour.OnPath(te.rec.ChildF(), te.rec.ChildL(), pr.fu, pr.lu, pr.fv, pr.lv) {
+						continue
+					}
+					cand := graph.WeightedEdge{Edge: te.rec.E, Weight: te.weight}
+					if cur, ok := out[pr.idx]; !ok || heavier(cand, cur) {
+						out[pr.idx] = cand
+					}
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return mpc.Value{V: out, N: 4 * len(out)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[int]graph.WeightedEdge)
+			for i, e := range b.(mpc.Value).V.(map[int]graph.WeightedEdge) {
+				if cur, ok := am[i]; !ok || heavier(e, cur) {
+					am[i] = e
+				}
+			}
+			return mpc.Value{V: am, N: 4 * len(am)}
+		},
+	)
+	if res == nil {
+		return map[int]graph.WeightedEdge{}, nil
+	}
+	return res.(mpc.Value).V.(map[int]graph.WeightedEdge), nil
+}
+
+// heavier orders weighted edges by weight, breaking ties canonically so the
+// maintained MSF is deterministic.
+func heavier(a, b graph.WeightedEdge) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.U != b.U {
+		return a.U > b.U
+	}
+	return a.V > b.V
+}
+
+// SnapshotComponents reads out every vertex's component id. This is a
+// driver-level readout of the collectively stored output (the solution is
+// already materialized across machines, Section 1.2), not an MPC operation.
+func (f *Forest) SnapshotComponents() []int {
+	out := make([]int, f.cfg.N)
+	f.cl.LocalAll(func(mm *mpc.Machine) {
+		vs := vShard(mm)
+		if vs == nil {
+			return
+		}
+		for i, c := range vs.comp {
+			out[vs.lo+i] = c
+		}
+	})
+	return out
+}
+
+// SnapshotForest reads out the maintained forest edges (driver-level
+// readout of the collectively stored solution).
+func (f *Forest) SnapshotForest() []graph.WeightedEdge {
+	var out []graph.WeightedEdge
+	f.cl.LocalAll(func(mm *mpc.Machine) {
+		es := eShard(mm)
+		for e, te := range es.recs {
+			out = append(out, graph.WeightedEdge{Edge: e, Weight: te.weight})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// uniqueInts returns the sorted distinct values.
+func uniqueInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReportForest materializes the solution in the model's output convention
+// (Section 1.2): the forest edges are globally sorted by edge id (the O(1)-
+// round distributed sample sort) and then compacted onto a prefix of the
+// machines, each holding up to its output capacity. It returns the
+// per-machine edge counts of the output layout.
+func (f *Forest) ReportForest() []int {
+	n := f.cfg.N
+	const slotOut = "out"
+	f.cl.SortByKey(
+		func(mm *mpc.Machine) []uint64 {
+			es := eShard(mm)
+			keys := make([]uint64, 0, len(es.recs))
+			for e := range es.recs {
+				keys = append(keys, e.ID(n))
+			}
+			return keys
+		},
+		func(mm *mpc.Machine, keys []uint64) {
+			if len(keys) == 0 {
+				mm.Delete(slotOut)
+				return
+			}
+			mm.Set(slotOut, mpc.U64s(keys))
+		},
+		2,
+	)
+	// Compact onto a machine prefix: aggregate counts, broadcast prefix
+	// offsets, route each item to floor(globalRank / capacity).
+	capacity := f.cl.LocalMemory() / 4
+	if capacity < 1 {
+		capacity = 1
+	}
+	counts := f.aggregateMaps(func(mm *mpc.Machine) map[int]int {
+		if v, ok := mm.Get(slotOut).(mpc.U64s); ok {
+			return map[int]int{mm.ID: len(v)}
+		}
+		return nil
+	}, func(a, _ int) int { return a })
+	offsets := map[int]int{}
+	run := 0
+	for id := 0; id < f.cl.Machines(); id++ {
+		if c, ok := counts[id]; ok {
+			offsets[id] = run
+			run += c
+		}
+	}
+	f.broadcast(mpc.Value{V: offsets, N: 2 * len(offsets)})
+	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		keys, ok := mm.Get(slotOut).(mpc.U64s)
+		if !ok {
+			return nil
+		}
+		mm.Delete(slotOut)
+		off := mm.Get(slotBcast).(mpc.Value).V.(map[int]int)[mm.ID]
+		byDest := map[int][]uint64{}
+		for i, k := range keys {
+			byDest[(off+i)/capacity] = append(byDest[(off+i)/capacity], k)
+		}
+		var out []mpc.Message
+		for dst, ks := range byDest {
+			out = append(out, mpc.Message{To: dst, Payload: mpc.U64s(ks)})
+		}
+		return out
+	})
+	final := make([]int, f.cl.Machines())
+	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		var keys []uint64
+		for _, msg := range inbox {
+			keys = append(keys, msg.Payload.(mpc.U64s)...)
+		}
+		if len(keys) > 0 {
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			mm.Set(slotOut, mpc.U64s(keys))
+			final[mm.ID] = len(keys)
+			// The output stays resident only for the duration of the report;
+			// drop it so steady-state memory is unaffected.
+			mm.Delete(slotOut)
+		}
+		return nil
+	})
+	return final
+}
+
+// ConnectedMany answers a batch of connectivity queries in one O(1/φ)-round
+// collective (the query regime of Dhulipala et al. that the maintained
+// component ids make trivial).
+func (f *Forest) ConnectedMany(pairs [][2]int) []bool {
+	var vertices []int
+	for _, p := range pairs {
+		vertices = append(vertices, p[0], p[1])
+	}
+	labels := f.Components(vertices)
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = labels[p[0]] == labels[p[1]]
+	}
+	return out
+}

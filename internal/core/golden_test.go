@@ -1,0 +1,66 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/streamio"
+)
+
+// TestGoldenChurnTrace replays a checked-in churn trace (generated once
+// from workload seed 424242) through the connectivity algorithm and checks
+// the final solution and the resource envelope. It guards against silent
+// behavioral drift anywhere in the pipeline: streamio parsing, batch
+// splitting, and the full insert/delete machinery.
+func TestGoldenChurnTrace(t *testing.T) {
+	f, err := os.Open("testdata/churn32.stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	batches, err := streamio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) == 0 {
+		t.Fatal("empty golden trace")
+	}
+	n := streamio.MaxVertex(batches) + 1
+	dc, err := NewDynamicConnectivity(Config{N: n, Phi: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n)
+	for i, b := range batches {
+		if err := g.Apply(b); err != nil {
+			t.Fatalf("golden batch %d no longer valid: %v", i, err)
+		}
+		for j := 0; j < len(b); j += dc.MaxBatch() {
+			end := min(j+dc.MaxBatch(), len(b))
+			if err := dc.ApplyBatch(b[j:end]); err != nil {
+				t.Fatalf("batch %d[%d:%d]: %v", i, j, end, err)
+			}
+		}
+	}
+	want := oracle.Components(g)
+	got := dc.SnapshotComponents()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: component %d, oracle %d", v, got[v], want[v])
+		}
+	}
+	if !oracle.IsSpanningForest(g, dc.SnapshotForest()) {
+		t.Fatal("forest invalid after golden replay")
+	}
+	st := dc.Cluster().Stats()
+	if len(st.Violations) != 0 {
+		t.Fatalf("violations: %v", st.Violations[0])
+	}
+	// Loose resource envelope: catches order-of-magnitude regressions in
+	// round or memory accounting without being brittle to small changes.
+	if perBatch := float64(st.Rounds) / float64(len(batches)); perBatch > 120 {
+		t.Errorf("rounds per golden batch = %.1f, expected well under 120", perBatch)
+	}
+}

@@ -1,0 +1,216 @@
+// Package matching implements the approximate maximum-matching algorithms
+// of Section 8:
+//
+//   - GreedyInsertOnly (Theorem 8.1): an O(α)-approximate matching under
+//     insertion-only streams in Õ(n/α) total memory — a greedily maintained
+//     matching capped at c·n/α.
+//   - AKLYDynamic (Theorem 8.2): an O(α)-approximate matching under fully
+//     dynamic streams in Õ(max{n²/α³, n/α}) total memory — the
+//     Assadi–Khanna–Li–Yaroslavtsev sparsifier (hashed vertex groups,
+//     active group pairs, one ℓ0-sampler per active pair) feeding a
+//     batch-dynamic maximal matching (package nowickionak).
+//   - InsertOnlySizeEstimator (Theorem 8.5) and DynamicSizeEstimator
+//     (Theorem 8.6): O(α)-approximations of the maximum matching size in
+//     Õ(n/α²) and Õ(n²/α⁴) memory, following the Tester meta-algorithm of
+//     Assadi–Khanna–Li.
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// Store slots.
+const (
+	slotShard = "m"
+	slotBcast = "b"
+)
+
+// greedyShard holds match pointers for one machine's vertex range.
+type greedyShard struct {
+	lo, hi int
+	match  []int
+}
+
+// Words implements mpc.Sized.
+func (s *greedyShard) Words() int { return s.hi - s.lo + 2 }
+
+// GreedyInsertOnly maintains a matching that is either maximal or of size
+// at least cap = ceil(2n/α); in both cases it is an O(α)-approximate
+// maximum matching (Theorem 8.1). Each batch costs O(1) collective rounds.
+type GreedyInsertOnly struct {
+	n     int
+	cap   int
+	cl    *mpc.Cluster
+	part  mpc.Partition
+	coord int
+	size  int // coordinator-local counter
+}
+
+// NewGreedyInsertOnly creates the structure for an empty graph; alpha > 1.
+func NewGreedyInsertOnly(n int, alpha float64, verticesPerMachine int) (*GreedyInsertOnly, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("matching: n = %d", n)
+	}
+	if alpha <= 1 {
+		return nil, fmt.Errorf("matching: alpha = %v", alpha)
+	}
+	vpm := verticesPerMachine
+	if vpm == 0 {
+		vpm = 64
+	}
+	m := (n+vpm-1)/vpm + 1
+	capSize := int(2*float64(n)/alpha) + 1
+	g := &GreedyInsertOnly{
+		n:     n,
+		cap:   capSize,
+		cl:    mpc.NewCluster(mpc.Config{Machines: m, LocalMemory: vpm * 16}),
+		part:  mpc.Partition{N: n, Machines: m - 1},
+		coord: m - 1,
+	}
+	g.cl.LocalAll(func(mm *mpc.Machine) {
+		if mm.ID == g.coord {
+			return
+		}
+		lo, hi := g.part.Range(mm.ID)
+		sh := &greedyShard{lo: lo, hi: hi, match: make([]int, hi-lo)}
+		for i := range sh.match {
+			sh.match[i] = -1
+		}
+		mm.Set(slotShard, sh)
+	})
+	return g, nil
+}
+
+// Cluster exposes the cluster for metering.
+func (g *GreedyInsertOnly) Cluster() *mpc.Cluster { return g.cl }
+
+// Cap returns the matching-size cap c·n/α.
+func (g *GreedyInsertOnly) Cap() int { return g.cap }
+
+// edgesPayload broadcasts a batch of edges.
+type edgesPayload struct{ edges []graph.Edge }
+
+func (p edgesPayload) Words() int { return 2 * len(p.edges) }
+
+// InsertBatch processes a batch of insertions: if the matching is already
+// at its cap nothing happens; otherwise the endpoints' match status is
+// broadcast-queried, the coordinator extends the matching greedily, and the
+// changes are scattered back. O(1) collective rounds.
+func (g *GreedyInsertOnly) InsertBatch(edges []graph.Edge) error {
+	if g.size >= g.cap || len(edges) == 0 {
+		return nil
+	}
+	g.cl.Broadcast(g.coord, slotBcast, edgesPayload{edges: edges})
+	status := g.queryStatus()
+	var newMatches []graph.Edge
+	for _, e := range edges {
+		if g.size+len(newMatches) >= g.cap {
+			break
+		}
+		c := e.Canonical()
+		if status[c.U] == -1 && status[c.V] == -1 {
+			newMatches = append(newMatches, c)
+			status[c.U], status[c.V] = c.V, c.U
+		}
+	}
+	if len(newMatches) == 0 {
+		return nil
+	}
+	g.size += len(newMatches)
+	nm := newMatches
+	g.cl.Scatter(g.coord,
+		func(mm *mpc.Machine) []mpc.Message {
+			byOwner := map[int][]graph.Edge{}
+			for _, e := range nm {
+				byOwner[g.part.Owner(e.U)] = append(byOwner[g.part.Owner(e.U)], e)
+				if g.part.Owner(e.V) != g.part.Owner(e.U) {
+					byOwner[g.part.Owner(e.V)] = append(byOwner[g.part.Owner(e.V)], e)
+				}
+			}
+			var out []mpc.Message
+			for owner, es := range byOwner {
+				out = append(out, mpc.Message{To: owner, Payload: edgesPayload{edges: es}})
+			}
+			return out
+		},
+		func(mm *mpc.Machine, msg mpc.Message) {
+			sh := mm.Get(slotShard).(*greedyShard)
+			for _, e := range msg.Payload.(edgesPayload).edges {
+				if e.U >= sh.lo && e.U < sh.hi {
+					sh.match[e.U-sh.lo] = e.V
+				}
+				if e.V >= sh.lo && e.V < sh.hi {
+					sh.match[e.V-sh.lo] = e.U
+				}
+			}
+		},
+	)
+	return nil
+}
+
+// queryStatus aggregates the match status of the broadcast edges'
+// endpoints.
+func (g *GreedyInsertOnly) queryStatus() map[int]int {
+	res := g.cl.Aggregate(g.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			sh, ok := mm.Get(slotShard).(*greedyShard)
+			if !ok {
+				return nil
+			}
+			out := map[int]int{}
+			for _, e := range mm.Get(slotBcast).(edgesPayload).edges {
+				for _, v := range []int{e.U, e.V} {
+					if v >= sh.lo && v < sh.hi {
+						out[v] = sh.match[v-sh.lo]
+					}
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return mpc.Value{V: out, N: 2 * len(out)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[int]int)
+			for k, v := range b.(mpc.Value).V.(map[int]int) {
+				am[k] = v
+			}
+			return mpc.Value{V: am, N: 2 * len(am)}
+		},
+	)
+	if res == nil {
+		return map[int]int{}
+	}
+	return res.(mpc.Value).V.(map[int]int)
+}
+
+// Size returns the current matching size (coordinator-local).
+func (g *GreedyInsertOnly) Size() int { return g.size }
+
+// Matching reads out the matching (driver-level readout).
+func (g *GreedyInsertOnly) Matching() []graph.Edge {
+	var out []graph.Edge
+	g.cl.LocalAll(func(mm *mpc.Machine) {
+		sh, ok := mm.Get(slotShard).(*greedyShard)
+		if !ok {
+			return
+		}
+		for i, p := range sh.match {
+			v := sh.lo + i
+			if p > v {
+				out = append(out, graph.Edge{U: v, V: p})
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

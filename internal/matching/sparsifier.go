@@ -1,0 +1,168 @@
+package matching
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hash"
+	"repro/internal/mpc"
+	"repro/internal/nowickionak"
+	"repro/internal/sketch"
+)
+
+// pairKey identifies one group pair of a sparsifier.
+type pairKey struct{ i, j int }
+
+// pairState is one pair's ℓ0-sampler and its last reported outcome.
+type pairState struct {
+	sk      *sketch.Sketch
+	outcome graph.Edge
+	has     bool
+}
+
+// sparsifierShard stores the pair samplers assigned to one machine.
+type sparsifierShard struct {
+	pairs map[pairKey]*pairState
+	perSk int
+}
+
+// Words implements mpc.Sized.
+func (s *sparsifierShard) Words() int { return len(s.pairs) * (s.perSk + 3) }
+
+// sparsifier is the shared machinery of Theorems 8.2 and 8.6: a set of
+// group pairs, one linear ℓ0-sampler per pair over the edge-id space, and a
+// batch-dynamic maximal matching (package nowickionak) maintained on the
+// graph H formed by the samplers' outcomes. Updating a batch costs O(1)
+// collective rounds (broadcast, local sampler updates, gather of outcome
+// diffs) plus the matcher's batch.
+type sparsifier struct {
+	n        int
+	cl       *mpc.Cluster
+	coord    int
+	mach     int
+	classify func(graph.Edge) (pairKey, bool)
+	matcher  *nowickionak.Matcher
+}
+
+// newSparsifier builds the distributed sampler state for the given pairs.
+func newSparsifier(
+	n int,
+	pairs []pairKey,
+	classify func(graph.Edge) (pairKey, bool),
+	prg *hash.PRG,
+	matcherCfg nowickionak.Config,
+) (*sparsifier, error) {
+	space := sketch.NewSpace(graph.IDSpace(n), 6, prg)
+	const mach = 9
+	perMachine := (len(pairs)/(mach-1) + 2) * (space.SketchWords() + 16)
+	sp := &sparsifier{
+		n:        n,
+		cl:       mpc.NewCluster(mpc.Config{Machines: mach, LocalMemory: perMachine + 4096}),
+		coord:    mach - 1,
+		mach:     mach,
+		classify: classify,
+	}
+	matcher, err := nowickionak.New(matcherCfg)
+	if err != nil {
+		return nil, err
+	}
+	sp.matcher = matcher
+	owner := func(p pairKey) int { return (p.i*31 + p.j*17 + 7) % (mach - 1) }
+	sp.cl.LocalAll(func(mm *mpc.Machine) {
+		if mm.ID == sp.coord {
+			return
+		}
+		sh := &sparsifierShard{pairs: map[pairKey]*pairState{}, perSk: space.SketchWords()}
+		for _, p := range pairs {
+			if owner(p) == mm.ID {
+				if _, dup := sh.pairs[p]; !dup {
+					sh.pairs[p] = &pairState{sk: space.NewSketch()}
+				}
+			}
+		}
+		mm.Set(slotShard, sh)
+	})
+	return sp, nil
+}
+
+// batchPayload broadcasts an update batch.
+type batchPayload struct{ b graph.Batch }
+
+func (p batchPayload) Words() int { return 3 * len(p.b) }
+
+// outcomeDiff reports a changed sampler outcome.
+type outcomeDiff struct {
+	oldEdge graph.Edge
+	hadOld  bool
+	newEdge graph.Edge
+	hasNew  bool
+}
+
+type diffsPayload struct{ ds []outcomeDiff }
+
+func (p diffsPayload) Words() int { return 5 * len(p.ds) }
+
+// applyBatch updates the pair samplers, re-queries the touched ones, and
+// forwards the outcome changes to the maximal matching on H as deletions
+// plus insertions (the X and Y sets of Theorem 8.2's proof).
+func (sp *sparsifier) applyBatch(b graph.Batch) error {
+	sp.cl.Broadcast(sp.coord, slotBcast, batchPayload{b: b})
+	gathered := sp.cl.Gather(sp.coord, func(mm *mpc.Machine) mpc.Sized {
+		sh, ok := mm.Get(slotShard).(*sparsifierShard)
+		if !ok {
+			return nil
+		}
+		touched := map[pairKey]bool{}
+		for _, u := range mm.Get(slotBcast).(batchPayload).b {
+			e := u.Edge.Canonical()
+			p, ok := sp.classify(e)
+			if !ok {
+				continue
+			}
+			st, mine := sh.pairs[p]
+			if !mine {
+				continue
+			}
+			delta := 1
+			if u.Op == graph.Delete {
+				delta = -1
+			}
+			st.sk.Update(e.ID(sp.n), delta)
+			touched[p] = true
+		}
+		var ds []outcomeDiff
+		for p := range touched {
+			st := sh.pairs[p]
+			d := outcomeDiff{oldEdge: st.outcome, hadOld: st.has}
+			if id, res := st.sk.QueryAny(0); res == sketch.Found {
+				st.outcome = graph.EdgeFromID(id, sp.n)
+				st.has = true
+			} else {
+				st.outcome = graph.Edge{}
+				st.has = false
+			}
+			d.newEdge, d.hasNew = st.outcome, st.has
+			if d.hadOld == d.hasNew && d.oldEdge == d.newEdge {
+				continue
+			}
+			ds = append(ds, d)
+		}
+		if len(ds) == 0 {
+			return nil
+		}
+		return diffsPayload{ds: ds}
+	})
+	var hBatch graph.Batch
+	for _, payload := range gathered {
+		for _, d := range payload.(diffsPayload).ds {
+			if d.hadOld {
+				hBatch = append(hBatch, graph.Update{Op: graph.Delete, Edge: d.oldEdge})
+			}
+			if d.hasNew {
+				hBatch = append(hBatch, graph.Update{Op: graph.Insert, Edge: d.newEdge})
+			}
+		}
+	}
+	return sp.matcher.ApplyBatch(hBatch)
+}
+
+// peakWords reports the sparsifier's peak total memory.
+func (sp *sparsifier) peakWords() int { return sp.cl.Stats().PeakTotalWords }

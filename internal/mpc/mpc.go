@@ -1,0 +1,587 @@
+// Package mpc implements an in-process simulator of the Massively Parallel
+// Computation model with sublinear local memory, the substrate on which every
+// algorithm in this repository runs.
+//
+// A Cluster is a fixed collection of machines that communicate only in
+// synchronous rounds. In each round every machine may read its inbox, perform
+// arbitrary local computation on its local store, and emit messages; the
+// cluster routes the messages, enforces the per-machine communication cap
+// (total words sent or received by one machine in one round must not exceed
+// its local memory s), and meters rounds, messages, words moved, and peak
+// memory. Algorithms are written against Step and against the collective
+// operations built on top of it (Broadcast, Gather, Aggregate, Exchange), so
+// their round counts are structural properties of the execution, not
+// estimates.
+//
+// Memory is accounted in machine words: one vertex id, one tour index, or one
+// sketch cell each count as one word, matching the convention of the paper's
+// model (Section 1.2).
+package mpc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sized is implemented by any value whose size in machine words is known.
+// All message payloads and all machine-store values must be Sized so the
+// simulator can enforce communication caps and meter memory.
+type Sized interface {
+	Words() int
+}
+
+// U64s is a word slice payload; its size is its length.
+type U64s []uint64
+
+// Words implements Sized.
+func (u U64s) Words() int { return len(u) }
+
+// Ints is an int slice payload; its size is its length.
+type Ints []int
+
+// Words implements Sized.
+func (i Ints) Words() int { return len(i) }
+
+// Word is a single-word payload.
+type Word uint64
+
+// Words implements Sized.
+func (Word) Words() int { return 1 }
+
+// Value wraps an arbitrary value with an explicitly declared word size. Use
+// it for structured payloads whose size the caller has computed.
+type Value struct {
+	V any
+	N int
+}
+
+// Words implements Sized.
+func (v Value) Words() int { return v.N }
+
+// Message is a point-to-point message delivered at the start of the next
+// round.
+type Message struct {
+	From, To int
+	Payload  Sized
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Machines is the number of machines; must be positive.
+	Machines int
+	// LocalMemory is the per-machine memory and per-round communication
+	// budget s, in words; must be positive.
+	LocalMemory int
+	// Strict makes cap violations panic immediately instead of being
+	// recorded in Stats.Violations. Tests use Strict to fail fast.
+	Strict bool
+}
+
+// Stats aggregates the execution metrics the experiments report.
+type Stats struct {
+	// Rounds is the number of synchronous communication rounds executed.
+	Rounds int
+	// Messages is the total number of messages routed.
+	Messages int64
+	// WordsSent is the total number of payload words moved.
+	WordsSent int64
+	// MaxRecvWords is the largest number of words received by a single
+	// machine in a single round.
+	MaxRecvWords int
+	// MaxSendWords is the largest number of words sent by a single machine
+	// in a single round.
+	MaxSendWords int
+	// PeakMachineWords is the largest local store of any machine at any
+	// round boundary.
+	PeakMachineWords int
+	// PeakTotalWords is the largest total memory (sum over machines) at any
+	// round boundary.
+	PeakTotalWords int
+	// Violations records cap violations when Strict is off.
+	Violations []string
+}
+
+// Machine is one MPC machine. Its Store maps named slots to Sized state; the
+// cluster sums the slots to meter memory. Algorithms typically keep one shard
+// struct per machine under a well-known slot name.
+type Machine struct {
+	// ID is the machine index in [0, Machines).
+	ID int
+	// Store holds the machine's local state.
+	Store map[string]Sized
+}
+
+// StateWords returns the machine's current local memory use in words.
+func (m *Machine) StateWords() int {
+	total := 0
+	for _, v := range m.Store {
+		total += v.Words()
+	}
+	return total
+}
+
+// Get returns the store slot named key, or nil if absent.
+func (m *Machine) Get(key string) Sized { return m.Store[key] }
+
+// Set assigns the store slot named key.
+func (m *Machine) Set(key string, v Sized) { m.Store[key] = v }
+
+// Delete removes the store slot named key.
+func (m *Machine) Delete(key string) { delete(m.Store, key) }
+
+// Cluster is a simulated MPC system.
+type Cluster struct {
+	cfg      Config
+	machines []*Machine
+	inboxes  [][]Message
+	stats    Stats
+}
+
+// NewCluster returns a cluster with the given configuration.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		panic(fmt.Sprintf("mpc: %d machines", cfg.Machines))
+	}
+	if cfg.LocalMemory <= 0 {
+		panic(fmt.Sprintf("mpc: local memory %d", cfg.LocalMemory))
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		machines: make([]*Machine, cfg.Machines),
+		inboxes:  make([][]Message, cfg.Machines),
+	}
+	for i := range c.machines {
+		c.machines[i] = &Machine{ID: i, Store: make(map[string]Sized)}
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machines returns the number of machines.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// LocalMemory returns the per-machine memory budget s in words.
+func (c *Cluster) LocalMemory() int { return c.cfg.LocalMemory }
+
+// Machine returns machine i. It is exported for tests and for loading input
+// shards before an execution begins; algorithms must not use it to bypass
+// message passing mid-run.
+func (c *Cluster) Machine(i int) *Machine { return c.machines[i] }
+
+// Stats returns a copy of the execution metrics so far.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the metrics (keeping machine state), so callers can meter
+// a phase in isolation.
+func (c *Cluster) ResetStats() { c.stats = Stats{} }
+
+// violate records or raises a cap violation.
+func (c *Cluster) violate(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if c.cfg.Strict {
+		panic("mpc: " + msg)
+	}
+	c.stats.Violations = append(c.stats.Violations, msg)
+}
+
+// StepFunc is the per-machine computation of one round. It receives the
+// machine and the messages delivered this round and returns the messages to
+// send; returned messages are delivered at the start of the next round.
+type StepFunc func(m *Machine, inbox []Message) []Message
+
+// Step executes one synchronous round on all machines.
+func (c *Cluster) Step(fn StepFunc) {
+	next := make([][]Message, c.cfg.Machines)
+	recvWords := make([]int, c.cfg.Machines)
+	for i, m := range c.machines {
+		inbox := c.inboxes[i]
+		out := fn(m, inbox)
+		sendWords := 0
+		for _, msg := range out {
+			if msg.To < 0 || msg.To >= c.cfg.Machines {
+				c.violate("machine %d sent to invalid machine %d", i, msg.To)
+				continue
+			}
+			msg.From = i
+			w := 0
+			if msg.Payload != nil {
+				w = msg.Payload.Words()
+			}
+			sendWords += w
+			recvWords[msg.To] += w
+			next[msg.To] = append(next[msg.To], msg)
+			c.stats.Messages++
+			c.stats.WordsSent += int64(w)
+		}
+		if sendWords > c.cfg.LocalMemory {
+			c.violate("machine %d sent %d words in one round (cap %d)", i, sendWords, c.cfg.LocalMemory)
+		}
+		if sendWords > c.stats.MaxSendWords {
+			c.stats.MaxSendWords = sendWords
+		}
+	}
+	for i, w := range recvWords {
+		if w > c.cfg.LocalMemory {
+			c.violate("machine %d received %d words in one round (cap %d)", i, w, c.cfg.LocalMemory)
+		}
+		if w > c.stats.MaxRecvWords {
+			c.stats.MaxRecvWords = w
+		}
+	}
+	c.inboxes = next
+	c.stats.Rounds++
+	c.meterMemory()
+}
+
+// meterMemory samples per-machine and total memory at the round boundary.
+func (c *Cluster) meterMemory() {
+	total := 0
+	for _, m := range c.machines {
+		w := m.StateWords()
+		total += w
+		if w > c.stats.PeakMachineWords {
+			c.stats.PeakMachineWords = w
+		}
+		if w > c.cfg.LocalMemory {
+			c.violate("machine %d stores %d words (cap %d)", m.ID, w, c.cfg.LocalMemory)
+		}
+	}
+	if total > c.stats.PeakTotalWords {
+		c.stats.PeakTotalWords = total
+	}
+}
+
+// LocalAt runs fn on machine id without advancing the round: it models local
+// computation between communication rounds, which is free in the MPC model.
+// Memory is re-metered afterwards so state growth is still observed.
+func (c *Cluster) LocalAt(id int, fn func(m *Machine)) {
+	fn(c.machines[id])
+	c.meterMemory()
+}
+
+// LocalAll runs fn on every machine without advancing the round.
+func (c *Cluster) LocalAll(fn func(m *Machine)) {
+	for _, m := range c.machines {
+		fn(m)
+	}
+	c.meterMemory()
+}
+
+// fanout returns the broadcast/aggregation tree fanout for payloads of w
+// words: the number of children one machine can serve within its
+// communication budget, at least 2.
+func (c *Cluster) fanout(w int) int {
+	if w <= 0 {
+		w = 1
+	}
+	f := c.cfg.LocalMemory / w
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// treeDepth returns ceil(log_f(m)) with a minimum of 1.
+func treeDepth(m, f int) int {
+	if m <= 1 {
+		return 1
+	}
+	depth := 0
+	reach := 1
+	for reach < m {
+		reach *= f
+		depth++
+	}
+	return depth
+}
+
+// Broadcast delivers payload from machine `from` to every machine via a
+// fanout tree, storing it on arrival under store slot `slot`. It costs
+// ceil(log_f M) rounds where f = s / payload words. The payload value is
+// shared (not copied); receivers must treat it as read-only.
+func (c *Cluster) Broadcast(from int, slot string, payload Sized) {
+	w := payload.Words()
+	f := c.fanout(w)
+	c.machines[from].Set(slot, payload)
+	// covered[i] reports whether machine i holds the payload already. We
+	// relabel machines so that the source is rank 0 of a contiguous tree.
+	M := c.cfg.Machines
+	rank := func(id int) int { return (id - from + M) % M }
+	unrank := func(r int) int { return (r + from) % M }
+	depth := treeDepth(M, f)
+	frontier := 1 // ranks [0, frontier) hold the payload
+	for d := 0; d < depth; d++ {
+		fr := frontier
+		c.Step(func(m *Machine, inbox []Message) []Message {
+			for _, msg := range inbox {
+				m.Set(slot, msg.Payload)
+			}
+			r := rank(m.ID)
+			if r >= fr {
+				return nil
+			}
+			var out []Message
+			for ch := 1; ch <= f-1; ch++ {
+				cr := r + ch*fr
+				if cr >= M {
+					break
+				}
+				out = append(out, Message{To: unrank(cr), Payload: payload})
+			}
+			return out
+		})
+		frontier *= f
+		if frontier >= M {
+			// All machines receive in the round that just executed only if
+			// they were targeted; one more delivery round may still be
+			// pending in inboxes. Deliver it.
+			if d == depth-1 {
+				break
+			}
+		}
+	}
+	// Flush any in-flight deliveries from the last round.
+	c.flushDeliveries(slot)
+}
+
+// flushDeliveries runs a zero-send step if any inbox is non-empty so that
+// pending payloads land in stores.
+func (c *Cluster) flushDeliveries(slot string) {
+	pending := false
+	for _, in := range c.inboxes {
+		if len(in) > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, msg := range inbox {
+			m.Set(slot, msg.Payload)
+		}
+		return nil
+	})
+}
+
+// Gather collects one payload from every machine onto machine `to` and
+// returns them indexed by source machine. Payloads are funneled through an
+// aggregation tree whose fanout is sized for the total volume, costing
+// ceil(log_f M) rounds. The caller is responsible for the total volume
+// fitting in the destination's memory; the cluster meters violations.
+// Machines whose collect returns nil contribute nothing.
+func (c *Cluster) Gather(to int, collect func(m *Machine) Sized) map[int]Sized {
+	type item struct {
+		src     int
+		payload Sized
+	}
+	M := c.cfg.Machines
+	// held[i] = items currently buffered at machine with rank i.
+	rank := func(id int) int { return (id - to + M) % M }
+	unrank := func(r int) int { return (r + to) % M }
+	held := make([][]item, M)
+	maxW := 1
+	for _, m := range c.machines {
+		if p := collect(m); p != nil {
+			held[rank(m.ID)] = append(held[rank(m.ID)], item{src: m.ID, payload: p})
+			if w := p.Words(); w > maxW {
+				maxW = w
+			}
+		}
+	}
+	f := c.fanout(maxW * 2)
+	depth := treeDepth(M, f)
+	groupSize := 1
+	for d := 0; d < depth; d++ {
+		gs := groupSize
+		c.Step(func(m *Machine, inbox []Message) []Message {
+			r := rank(m.ID)
+			for _, msg := range inbox {
+				it := msg.Payload.(Value).V.(item)
+				held[r] = append(held[r], it)
+			}
+			if r == 0 || r%(gs*f) == 0 || r%gs != 0 {
+				return nil
+			}
+			parent := unrank(r - r%(gs*f))
+			var out []Message
+			for _, it := range held[r] {
+				out = append(out, Message{To: parent, Payload: Value{V: it, N: it.payload.Words()}})
+			}
+			held[r] = nil
+			return out
+		})
+		groupSize *= f
+	}
+	// Final delivery flush.
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		r := rank(m.ID)
+		for _, msg := range inbox {
+			it := msg.Payload.(Value).V.(item)
+			held[r] = append(held[r], it)
+		}
+		return nil
+	})
+	out := make(map[int]Sized, len(held[0]))
+	for _, it := range held[0] {
+		out[it.src] = it.payload
+	}
+	return out
+}
+
+// Aggregate tree-combines one Sized item per machine into a single item at
+// machine `to` and returns it. combine must be associative; items are
+// combined eagerly at internal tree nodes so per-round traffic stays at one
+// item per edge of the tree. Machines may contribute nil to mean "no item".
+func (c *Cluster) Aggregate(to int, collect func(m *Machine) Sized, combine func(a, b Sized) Sized) Sized {
+	M := c.cfg.Machines
+	rank := func(id int) int { return (id - to + M) % M }
+	unrank := func(r int) int { return (r + to) % M }
+	acc := make([]Sized, M)
+	maxW := 1
+	for _, m := range c.machines {
+		p := collect(m)
+		acc[rank(m.ID)] = p
+		if p != nil && p.Words() > maxW {
+			maxW = p.Words()
+		}
+	}
+	f := c.fanout(maxW)
+	depth := treeDepth(M, f)
+	groupSize := 1
+	for d := 0; d < depth; d++ {
+		gs := groupSize
+		c.Step(func(m *Machine, inbox []Message) []Message {
+			r := rank(m.ID)
+			for _, msg := range inbox {
+				p := msg.Payload
+				if acc[r] == nil {
+					acc[r] = p
+				} else {
+					acc[r] = combine(acc[r], p)
+				}
+			}
+			if r%gs != 0 || r%(gs*f) == 0 {
+				return nil
+			}
+			if acc[r] == nil {
+				return nil
+			}
+			parent := unrank(r - r%(gs*f))
+			p := acc[r]
+			acc[r] = nil
+			return []Message{{To: parent, Payload: p}}
+		})
+		groupSize *= f
+	}
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		r := rank(m.ID)
+		for _, msg := range inbox {
+			if acc[r] == nil {
+				acc[r] = msg.Payload
+			} else {
+				acc[r] = combine(acc[r], msg.Payload)
+			}
+		}
+		return nil
+	})
+	return acc[0]
+}
+
+// Exchange performs a request/response lookup: produce emits request
+// messages from each machine, serve answers each delivered request with an
+// optional response, and receive consumes the responses. It costs exactly
+// three rounds (send, serve, deliver) and is the building block for
+// distributed lookups.
+func (c *Cluster) Exchange(
+	produce func(m *Machine) []Message,
+	serve func(m *Machine, req Message) *Message,
+	receive func(m *Machine, resp Message),
+) {
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		return produce(m)
+	})
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		var out []Message
+		for _, req := range inbox {
+			if resp := serve(m, req); resp != nil {
+				out = append(out, *resp)
+			}
+		}
+		return out
+	})
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, resp := range inbox {
+			receive(m, resp)
+		}
+		return nil
+	})
+}
+
+// Scatter delivers messages produced at a single machine in one round. It is
+// the inverse of Gather for small keyed payloads: the coordinator addresses
+// each machine directly. Costs one round plus one delivery round.
+func (c *Cluster) Scatter(from int, produce func(m *Machine) []Message, receive func(m *Machine, msg Message)) {
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		if m.ID != from {
+			return nil
+		}
+		return produce(m)
+	})
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, msg := range inbox {
+			receive(m, msg)
+		}
+		return nil
+	})
+}
+
+// Partition maps n items (vertices) onto machines in contiguous equal ranges,
+// the "vertex-based partitioning" of Section 5.
+type Partition struct {
+	// N is the number of items.
+	N int
+	// Machines is the number of machines.
+	Machines int
+}
+
+// Owner returns the machine owning item v.
+func (p Partition) Owner(v int) int {
+	if v < 0 || v >= p.N {
+		panic(fmt.Sprintf("mpc: item %d out of range [0,%d)", v, p.N))
+	}
+	per := (p.N + p.Machines - 1) / p.Machines
+	o := v / per
+	if o >= p.Machines {
+		o = p.Machines - 1
+	}
+	return o
+}
+
+// Range returns the half-open item range [lo, hi) owned by machine id.
+func (p Partition) Range(id int) (lo, hi int) {
+	per := (p.N + p.Machines - 1) / p.Machines
+	lo = id * per
+	hi = lo + per
+	if hi > p.N {
+		hi = p.N
+	}
+	if lo > p.N {
+		lo = p.N
+	}
+	return lo, hi
+}
+
+// SortedMachineIDs returns 0..M-1; convenient for deterministic iteration in
+// tests and examples.
+func (c *Cluster) SortedMachineIDs() []int {
+	ids := make([]int, c.cfg.Machines)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,535 @@
+// Package nowickionak implements a batch-dynamic maximal matching in the
+// MPC model, the black-box substrate of the paper's dynamic matching
+// results (Proposition 8.4, after Nowicki and Onak, SODA 2021). It
+// maintains a maximal matching — hence a 2-approximate maximum matching —
+// of a dynamically evolving graph under batches of edge insertions and
+// deletions, using total memory proportional to the graph size and a
+// constant number of collective rounds per batch plus a conflict-retry loop
+// for re-matching vertices freed by deletions.
+//
+// The original algorithm's round bound is O(log 1/κ) for batches of size
+// s^{1-κ}; this implementation uses a propose/accept/confirm protocol whose
+// iteration count is the number of conflict rounds (measured and reported
+// by the experiments, and small in practice). Maximality of the result is
+// exact and is what Theorem 8.2/8.6 consume.
+package nowickionak
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// Store slots.
+const (
+	slotShard = "no"
+	slotBcast = "b"
+)
+
+// shard is one machine's vertex range: adjacency lists (every edge stored
+// with both endpoints, with multiplicity — the sparsifiers of Section 8 can
+// contribute the same edge through several samplers) and match pointers.
+type shard struct {
+	lo, hi int
+	adj    []map[int]int // neighbor -> multiplicity
+	match  []int         // partner vertex or -1
+	words  int
+}
+
+// Words implements mpc.Sized.
+func (s *shard) Words() int { return s.words + 2*(s.hi-s.lo) + 2 }
+
+func (s *shard) owns(v int) bool { return v >= s.lo && v < s.hi }
+
+// Matcher maintains the maximal matching.
+type Matcher struct {
+	n     int
+	cl    *mpc.Cluster
+	part  mpc.Partition
+	coord int
+	// retryRounds counts conflict-retry iterations across all batches.
+	retryRounds int
+}
+
+// Config parameterizes a Matcher.
+type Config struct {
+	// N is the number of vertices.
+	N int
+	// VerticesPerMachine sizes the cluster (default 64).
+	VerticesPerMachine int
+	// MemoryPerMachine is the per-machine word budget (default
+	// VerticesPerMachine * 128, leaving room for adjacency shards).
+	MemoryPerMachine int
+	Strict           bool
+}
+
+// New creates a matcher for an empty graph.
+func New(cfg Config) (*Matcher, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("nowickionak: N = %d", cfg.N)
+	}
+	vpm := cfg.VerticesPerMachine
+	if vpm == 0 {
+		vpm = 64
+	}
+	mem := cfg.MemoryPerMachine
+	if mem == 0 {
+		mem = vpm * 128
+	}
+	mach := (cfg.N+vpm-1)/vpm + 1
+	cl := mpc.NewCluster(mpc.Config{Machines: mach, LocalMemory: mem, Strict: cfg.Strict})
+	m := &Matcher{
+		n:     cfg.N,
+		cl:    cl,
+		part:  mpc.Partition{N: cfg.N, Machines: mach - 1},
+		coord: mach - 1,
+	}
+	cl.LocalAll(func(mm *mpc.Machine) {
+		if mm.ID == m.coord {
+			return
+		}
+		lo, hi := m.part.Range(mm.ID)
+		sh := &shard{lo: lo, hi: hi}
+		sh.adj = make([]map[int]int, hi-lo)
+		sh.match = make([]int, hi-lo)
+		for i := range sh.adj {
+			sh.adj[i] = map[int]int{}
+			sh.match[i] = -1
+		}
+		mm.Set(slotShard, sh)
+	})
+	return m, nil
+}
+
+// Cluster exposes the cluster for metering.
+func (m *Matcher) Cluster() *mpc.Cluster { return m.cl }
+
+// RetryRounds reports the cumulative conflict-retry iterations.
+func (m *Matcher) RetryRounds() int { return m.retryRounds }
+
+func getShard(mm *mpc.Machine) *shard {
+	s, _ := mm.Get(slotShard).(*shard)
+	return s
+}
+
+// batchPayload broadcasts the update batch.
+type batchPayload struct{ b graph.Batch }
+
+func (p batchPayload) Words() int { return 3 * len(p.b) }
+
+// ApplyBatch applies a batch of updates and restores maximality.
+func (m *Matcher) ApplyBatch(b graph.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	// Phase 1: broadcast the batch; shards update adjacency multiplicities
+	// and report (via a gather) which deleted edges vanished entirely.
+	m.cl.Broadcast(m.coord, slotBcast, batchPayload{b: b})
+	m.cl.LocalAll(func(mm *mpc.Machine) {
+		sh := getShard(mm)
+		if sh == nil {
+			return
+		}
+		for _, u := range mm.Get(slotBcast).(batchPayload).b {
+			e := u.Edge.Canonical()
+			for _, v := range []int{e.U, e.V} {
+				if !sh.owns(v) {
+					continue
+				}
+				o := e.Other(v)
+				if u.Op == graph.Insert {
+					if sh.adj[v-sh.lo][o] == 0 {
+						sh.words += 2
+					}
+					sh.adj[v-sh.lo][o]++
+				} else if sh.adj[v-sh.lo][o] > 0 {
+					sh.adj[v-sh.lo][o]--
+					if sh.adj[v-sh.lo][o] == 0 {
+						delete(sh.adj[v-sh.lo], o)
+						sh.words -= 2
+					}
+				}
+			}
+		}
+	})
+	vanished := m.vanishedEdges(b)
+	status := m.matchStatus(batchEndpoints(b))
+	// Phase 2 (coordinator-local): unmatch deleted matched edges; greedily
+	// match inserted edges among free endpoints.
+	free := map[int]bool{}
+	var unmatch []graph.Edge
+	for _, u := range b {
+		if u.Op != graph.Delete {
+			continue
+		}
+		e := u.Edge.Canonical()
+		if status[e.U] == e.V && vanished[e] {
+			unmatch = append(unmatch, e)
+			status[e.U], status[e.V] = -1, -1
+			free[e.U], free[e.V] = true, true
+		}
+	}
+	var newMatches []graph.Edge
+	for _, u := range b {
+		if u.Op != graph.Insert {
+			continue
+		}
+		e := u.Edge.Canonical()
+		if status[e.U] == -1 && status[e.V] == -1 {
+			newMatches = append(newMatches, e)
+			status[e.U], status[e.V] = e.V, e.U
+			delete(free, e.U)
+			delete(free, e.V)
+		}
+	}
+	m.applyMatchChanges(unmatch, newMatches)
+	// Phase 3: re-match freed vertices against the existing graph.
+	freed := make([]int, 0, len(free))
+	for v := range free {
+		freed = append(freed, v)
+	}
+	sort.Ints(freed)
+	return m.rematch(freed)
+}
+
+// vanishedEdges gathers, from the owners of the smaller endpoints, which
+// deleted batch edges now have multiplicity zero.
+func (m *Matcher) vanishedEdges(b graph.Batch) map[graph.Edge]bool {
+	gathered := m.cl.Gather(m.coord, func(mm *mpc.Machine) mpc.Sized {
+		sh := getShard(mm)
+		if sh == nil {
+			return nil
+		}
+		var gone []graph.Edge
+		for _, u := range mm.Get(slotBcast).(batchPayload).b {
+			if u.Op != graph.Delete {
+				continue
+			}
+			e := u.Edge.Canonical()
+			if sh.owns(e.U) && sh.adj[e.U-sh.lo][e.V] == 0 {
+				gone = append(gone, e)
+			}
+		}
+		if len(gone) == 0 {
+			return nil
+		}
+		return mpc.Value{V: gone, N: 2 * len(gone)}
+	})
+	out := map[graph.Edge]bool{}
+	for _, p := range gathered {
+		for _, e := range p.(mpc.Value).V.([]graph.Edge) {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func batchEndpoints(b graph.Batch) []int {
+	var out []int
+	for _, u := range b {
+		out = append(out, u.Edge.U, u.Edge.V)
+	}
+	return out
+}
+
+// matchStatus resolves the current partner (-1 if free) of each vertex.
+func (m *Matcher) matchStatus(vertices []int) map[int]int {
+	q := uniqueInts(vertices)
+	m.cl.Broadcast(m.coord, slotBcast, mpc.Ints(q))
+	res := m.cl.Aggregate(m.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			sh := getShard(mm)
+			if sh == nil {
+				return nil
+			}
+			out := map[int]int{}
+			for _, v := range mm.Get(slotBcast).(mpc.Ints) {
+				if sh.owns(v) {
+					out[v] = sh.match[v-sh.lo]
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+			return mpc.Value{V: out, N: 2 * len(out)}
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			am := a.(mpc.Value).V.(map[int]int)
+			for k, v := range b.(mpc.Value).V.(map[int]int) {
+				am[k] = v
+			}
+			return mpc.Value{V: am, N: 2 * len(am)}
+		},
+	)
+	out := map[int]int{}
+	if res != nil {
+		out = res.(mpc.Value).V.(map[int]int)
+	}
+	return out
+}
+
+// matchChange broadcasts matching mutations.
+type matchChange struct {
+	unmatch []graph.Edge
+	match   []graph.Edge
+}
+
+func (c matchChange) Words() int { return 2 * (len(c.unmatch) + len(c.match)) }
+
+func (m *Matcher) applyMatchChanges(unmatch, match []graph.Edge) {
+	if len(unmatch) == 0 && len(match) == 0 {
+		return
+	}
+	m.cl.Broadcast(m.coord, slotBcast, matchChange{unmatch: unmatch, match: match})
+	m.cl.LocalAll(func(mm *mpc.Machine) {
+		sh := getShard(mm)
+		if sh == nil {
+			return
+		}
+		c := mm.Get(slotBcast).(matchChange)
+		for _, e := range c.unmatch {
+			for _, v := range []int{e.U, e.V} {
+				if sh.owns(v) {
+					sh.match[v-sh.lo] = -1
+				}
+			}
+		}
+		for _, e := range c.match {
+			if sh.owns(e.U) {
+				sh.match[e.U-sh.lo] = e.V
+			}
+			if sh.owns(e.V) {
+				sh.match[e.V-sh.lo] = e.U
+			}
+		}
+	})
+}
+
+// rematch restores maximality for the freed vertices with a
+// propose/accept/confirm protocol. In each round every still-free pending
+// vertex proposes to all neighbors; free targets accept the minimum
+// proposer (pending targets defer to smaller ids) and send busy-but-free
+// rejections to the rest; proposers confirm their minimum accepter. The
+// globally minimum pending vertex with a free neighbor always matches, so
+// the loop terminates; pending vertices retry only while some neighbor is
+// observably free.
+func (m *Matcher) rematch(freed []int) error {
+	pending := freed
+	for iter := 0; len(pending) > 0; iter++ {
+		if iter > 2*len(freed)+8 {
+			return fmt.Errorf("nowickionak: rematch did not converge (%d pending)", len(pending))
+		}
+		m.retryRounds++
+		sawFree := m.rematchRound(pending)
+		status := m.matchStatus(pending)
+		var next []int
+		for _, v := range pending {
+			if status[v] == -1 && sawFree[v] {
+				next = append(next, v)
+			}
+		}
+		pending = next
+	}
+	return nil
+}
+
+// proposal carries propose/accept/reject/confirm traffic; kind 0 proposal,
+// 1 accept, 2 busy-but-free rejection, 3 confirm.
+type proposal struct {
+	from, to int
+	kind     uint8
+}
+
+type proposalsPayload struct{ ps []proposal }
+
+func (p proposalsPayload) Words() int { return 3 * len(p.ps) }
+
+// rematchRound runs one protocol round and returns, per pending vertex,
+// whether it observed a free neighbor (and hence should retry if unmatched).
+func (m *Matcher) rematchRound(pending []int) map[int]bool {
+	pendSet := map[int]bool{}
+	for _, v := range pending {
+		pendSet[v] = true
+	}
+	m.cl.Broadcast(m.coord, slotBcast, mpc.Ints(pending))
+	// abstain[v] is set when pending target v accepts a smaller proposer
+	// and must therefore not confirm its own proposals this round.
+	abstain := map[int]bool{}
+	sawFree := map[int]bool{}
+	// Step A: owners of pending vertices propose to every neighbor.
+	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		sh := getShard(mm)
+		if sh == nil {
+			return nil
+		}
+		byOwner := map[int][]proposal{}
+		for _, v := range mm.Get(slotBcast).(mpc.Ints) {
+			if !sh.owns(v) || sh.match[v-sh.lo] != -1 {
+				continue
+			}
+			for o := range sh.adj[v-sh.lo] {
+				byOwner[m.part.Owner(o)] = append(byOwner[m.part.Owner(o)], proposal{from: v, to: o})
+			}
+		}
+		var out []mpc.Message
+		for owner, ps := range byOwner {
+			out = append(out, mpc.Message{To: owner, Payload: proposalsPayload{ps: ps}})
+		}
+		return out
+	})
+	// Step B: free targets accept the minimum admissible proposer and send
+	// busy-but-free rejections to the others.
+	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		sh := getShard(mm)
+		if sh == nil {
+			return nil
+		}
+		props := map[int][]int{} // free target -> proposers
+		for _, msg := range inbox {
+			for _, p := range msg.Payload.(proposalsPayload).ps {
+				if !sh.owns(p.to) || sh.match[p.to-sh.lo] != -1 {
+					continue
+				}
+				props[p.to] = append(props[p.to], p.from)
+			}
+		}
+		var out []mpc.Message
+		for to, froms := range props {
+			best := -1
+			for _, f := range froms {
+				if pendSet[to] && f >= to {
+					continue // pending targets defer to smaller proposers
+				}
+				if best == -1 || f < best {
+					best = f
+				}
+			}
+			for _, f := range froms {
+				kind := uint8(2) // busy-but-free
+				if f == best {
+					kind = 1 // accept
+				}
+				out = append(out, mpc.Message{
+					To:      m.part.Owner(f),
+					Payload: proposalsPayload{ps: []proposal{{from: to, to: f, kind: kind}}},
+				})
+			}
+			if best != -1 && pendSet[to] {
+				abstain[to] = true
+				sawFree[to] = true
+			}
+		}
+		return out
+	})
+	// Step C: proposers confirm their minimum accepter (unless abstaining).
+	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		sh := getShard(mm)
+		if sh == nil {
+			return nil
+		}
+		bestAccept := map[int]int{}
+		for _, msg := range inbox {
+			for _, p := range msg.Payload.(proposalsPayload).ps {
+				v := p.to // the original proposer
+				if !sh.owns(v) {
+					continue
+				}
+				sawFree[v] = true // accept or busy-but-free: a free neighbor exists
+				if p.kind != 1 || sh.match[v-sh.lo] != -1 || abstain[v] {
+					continue
+				}
+				if cur, ok := bestAccept[v]; !ok || p.from < cur {
+					bestAccept[v] = p.from
+				}
+			}
+		}
+		var out []mpc.Message
+		for v, u := range bestAccept {
+			sh.match[v-sh.lo] = u
+			out = append(out, mpc.Message{
+				To:      m.part.Owner(u),
+				Payload: proposalsPayload{ps: []proposal{{from: v, to: u, kind: 3}}},
+			})
+		}
+		return out
+	})
+	// Step D: accepters finalize.
+	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		sh := getShard(mm)
+		if sh == nil {
+			return nil
+		}
+		for _, msg := range inbox {
+			for _, p := range msg.Payload.(proposalsPayload).ps {
+				if p.kind == 3 && sh.owns(p.to) && sh.match[p.to-sh.lo] == -1 {
+					sh.match[p.to-sh.lo] = p.from
+				}
+			}
+		}
+		return nil
+	})
+	return sawFree
+}
+
+// Matching reads out the current matching (driver-level readout).
+func (m *Matcher) Matching() []graph.Edge {
+	var out []graph.Edge
+	m.cl.LocalAll(func(mm *mpc.Machine) {
+		sh := getShard(mm)
+		if sh == nil {
+			return
+		}
+		for i, p := range sh.match {
+			v := sh.lo + i
+			if p > v {
+				out = append(out, graph.Edge{U: v, V: p})
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Size returns the current matching size via an O(1)-round aggregate.
+func (m *Matcher) Size() int {
+	res := m.cl.Aggregate(m.coord,
+		func(mm *mpc.Machine) mpc.Sized {
+			sh := getShard(mm)
+			if sh == nil {
+				return nil
+			}
+			n := 0
+			for i, p := range sh.match {
+				if p > sh.lo+i {
+					n++
+				}
+			}
+			return mpc.Word(uint64(n))
+		},
+		func(a, b mpc.Sized) mpc.Sized { return mpc.Word(uint64(a.(mpc.Word)) + uint64(b.(mpc.Word))) },
+	)
+	if res == nil {
+		return 0
+	}
+	return int(uint64(res.(mpc.Word)))
+}
+
+func uniqueInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,235 @@
+package nowickionak
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hash"
+	"repro/internal/oracle"
+)
+
+func newMatcher(t *testing.T, n int) *Matcher {
+	t.Helper()
+	m, err := New(Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkMaximal asserts the matcher's matching is a valid maximal matching
+// of g.
+func checkMaximal(t *testing.T, m *Matcher, g *graph.Graph) {
+	t.Helper()
+	match := m.Matching()
+	if !oracle.IsMatching(g, match) {
+		t.Fatalf("output %v is not a matching of the graph", match)
+	}
+	covered := map[int]bool{}
+	for _, e := range match {
+		covered[e.U] = true
+		covered[e.V] = true
+	}
+	for _, e := range g.Edges() {
+		if !covered[e.U] && !covered[e.V] {
+			t.Fatalf("edge %v violates maximality (matching %v)", e.Edge, match)
+		}
+	}
+	if m.Size() != len(match) {
+		t.Fatalf("Size() = %d, matching has %d edges", m.Size(), len(match))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestInsertOnlyGreedy(t *testing.T) {
+	m := newMatcher(t, 16)
+	g := graph.New(16)
+	b := graph.Batch{graph.Ins(0, 1), graph.Ins(1, 2), graph.Ins(2, 3)}
+	_ = g.Apply(b)
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+}
+
+func TestDeleteUnmatchedEdge(t *testing.T) {
+	m := newMatcher(t, 16)
+	g := graph.New(16)
+	b := graph.Batch{graph.Ins(0, 1), graph.Ins(1, 2)}
+	_ = g.Apply(b)
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	// Whichever edge is unmatched, deleting it must not disturb the
+	// matching; deleting the matched one must re-match via the other.
+	match := m.Matching()
+	var unmatched graph.Edge
+	if len(match) != 1 {
+		t.Fatalf("matching = %v", match)
+	}
+	if match[0] == graph.NewEdge(0, 1) {
+		unmatched = graph.NewEdge(1, 2)
+	} else {
+		unmatched = graph.NewEdge(0, 1)
+	}
+	del := graph.Batch{graph.Del(unmatched.U, unmatched.V)}
+	_ = g.Apply(del)
+	if err := m.ApplyBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+	if m.Size() != 1 {
+		t.Errorf("Size = %d after deleting unmatched edge", m.Size())
+	}
+}
+
+func TestDeleteMatchedEdgeRematches(t *testing.T) {
+	m := newMatcher(t, 16)
+	g := graph.New(16)
+	// Path 0-1-2-3: any maximal matching here; then delete the matched
+	// middle and verify re-matching.
+	b := graph.Batch{graph.Ins(0, 1), graph.Ins(1, 2), graph.Ins(2, 3)}
+	_ = g.Apply(b)
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	match := m.Matching()
+	del := graph.Batch{graph.Del(match[0].U, match[0].V)}
+	_ = g.Apply(del)
+	if err := m.ApplyBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+}
+
+func TestAdjacentFreedVertices(t *testing.T) {
+	// Freed vertices adjacent to each other must pair up (the
+	// pending-pending race).
+	m := newMatcher(t, 16)
+	g := graph.New(16)
+	b := graph.Batch{graph.Ins(0, 1), graph.Ins(2, 3), graph.Ins(1, 2)}
+	_ = g.Apply(b)
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	// Matching is {0,1}, {2,3}; delete both in one batch: 1 and 2 freed
+	// and adjacent.
+	del := graph.Batch{graph.Del(0, 1), graph.Del(2, 3)}
+	_ = g.Apply(del)
+	if err := m.ApplyBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+	if m.Size() != 1 {
+		t.Errorf("Size = %d, want 1 ({1,2})", m.Size())
+	}
+}
+
+func TestStarGraphChurn(t *testing.T) {
+	m := newMatcher(t, 16)
+	g := graph.New(16)
+	var b graph.Batch
+	for leaf := 1; leaf < 8; leaf++ {
+		b = append(b, graph.Ins(0, leaf))
+	}
+	_ = g.Apply(b)
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+	if m.Size() != 1 {
+		t.Fatalf("star matching size = %d", m.Size())
+	}
+	// Delete the matched spoke; the center must re-match to another leaf.
+	matched := m.Matching()[0]
+	del := graph.Batch{graph.Del(matched.U, matched.V)}
+	_ = g.Apply(del)
+	if err := m.ApplyBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	checkMaximal(t, m, g)
+	if m.Size() != 1 {
+		t.Errorf("star matching size after churn = %d", m.Size())
+	}
+}
+
+func TestRandomizedChurnMaximality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized test")
+	}
+	for _, seed := range []uint64{3, 4, 5, 6} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			const n = 32
+			m := newMatcher(t, n)
+			g := graph.New(n)
+			prg := hash.NewPRG(seed * 41)
+			for step := 0; step < 30; step++ {
+				var b graph.Batch
+				used := map[graph.Edge]bool{}
+				size := 1 + int(prg.NextN(8))
+				for attempts := 0; len(b) < size && attempts < 100; attempts++ {
+					u, v := int(prg.NextN(n)), int(prg.NextN(n))
+					if u == v {
+						continue
+					}
+					e := graph.NewEdge(u, v)
+					if used[e] {
+						continue
+					}
+					used[e] = true
+					if g.Has(e.U, e.V) {
+						_ = g.Delete(e.U, e.V)
+						b = append(b, graph.Del(e.U, e.V))
+					} else {
+						_ = g.Insert(e.U, e.V, 0)
+						b = append(b, graph.Ins(e.U, e.V))
+					}
+				}
+				if err := m.ApplyBatch(b); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				checkMaximal(t, m, g)
+			}
+			if v := m.Cluster().Stats().Violations; len(v) > 0 {
+				t.Fatalf("violations: %v", v[0])
+			}
+		})
+	}
+}
+
+func TestTwoApproximation(t *testing.T) {
+	// Maximal matching is at least half the maximum matching.
+	const n = 20
+	m := newMatcher(t, n)
+	g := graph.New(n)
+	prg := hash.NewPRG(77)
+	var b graph.Batch
+	for total := 0; total < 30; {
+		u, v := int(prg.NextN(n)), int(prg.NextN(n))
+		if u == v || g.Has(u, v) {
+			continue
+		}
+		_ = g.Insert(u, v, 0)
+		b = append(b, graph.Ins(u, v))
+		total++
+		if len(b) == 10 {
+			if err := m.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			b = nil
+		}
+	}
+	if err := m.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	opt := oracle.MaxMatchingSize(g)
+	if 2*m.Size() < opt {
+		t.Errorf("maximal matching %d below half of maximum %d", m.Size(), opt)
+	}
+}

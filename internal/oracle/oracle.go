@@ -1,0 +1,377 @@
+// Package oracle provides sequential reference implementations used to
+// verify the MPC algorithms: connectivity labels, spanning-forest checking,
+// Kruskal minimum spanning forests, bipartiteness, and exact maximum
+// matching (Edmonds' blossom algorithm). Oracles favour clarity over speed;
+// they run on test-sized graphs.
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// size.
+type UnionFind struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if they were already
+// joined.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Components returns a component label for each vertex; two vertices share a
+// label iff they are connected in g. Labels are the minimum vertex id of the
+// component, matching the paper's component-id convention.
+func Components(g *graph.Graph) []int {
+	n := g.N()
+	uf := NewUnionFind(n)
+	for u := 0; u < n; u++ {
+		g.Neighbors(u, func(v int, _ int64) bool {
+			uf.Union(u, v)
+			return true
+		})
+	}
+	minOf := make(map[int]int)
+	for v := 0; v < n; v++ {
+		r := uf.Find(v)
+		if cur, ok := minOf[r]; !ok || v < cur {
+			minOf[r] = v
+		}
+	}
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = minOf[uf.Find(v)]
+	}
+	return labels
+}
+
+// NumComponents returns the number of connected components of g.
+func NumComponents(g *graph.Graph) int {
+	n := g.N()
+	uf := NewUnionFind(n)
+	for u := 0; u < n; u++ {
+		g.Neighbors(u, func(v int, _ int64) bool {
+			uf.Union(u, v)
+			return true
+		})
+	}
+	return uf.Sets()
+}
+
+// Connected reports whether u and v are in the same component of g.
+func Connected(g *graph.Graph, u, v int) bool {
+	labels := Components(g)
+	return labels[u] == labels[v]
+}
+
+// IsSpanningForest verifies that forest is a spanning forest of g: every
+// forest edge exists in g, the forest is acyclic, and it has exactly
+// n - #components(g) edges (which together imply it spans every component).
+func IsSpanningForest(g *graph.Graph, forest []graph.Edge) bool {
+	uf := NewUnionFind(g.N())
+	for _, e := range forest {
+		if !g.Has(e.U, e.V) {
+			return false
+		}
+		if !uf.Union(e.U, e.V) {
+			return false // cycle
+		}
+	}
+	return len(forest) == g.N()-NumComponents(g)
+}
+
+// MSF returns a minimum spanning forest of g (Kruskal) and its total weight.
+// Ties are broken by canonical edge order, making the weight unique and the
+// edge set deterministic.
+func MSF(g *graph.Graph) ([]graph.WeightedEdge, int64) {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight < edges[j].Weight
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	uf := NewUnionFind(g.N())
+	var out []graph.WeightedEdge
+	var total int64
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+			total += e.Weight
+		}
+	}
+	return out, total
+}
+
+// IsBipartite reports whether g is bipartite, via BFS 2-coloring.
+func IsBipartite(g *graph.Graph) bool {
+	n := g.N()
+	color := make([]int8, n) // 0 unvisited, 1/2 colors
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			ok := true
+			g.Neighbors(u, func(v int, _ int64) bool {
+				switch color[v] {
+				case 0:
+					color[v] = 3 - color[u]
+					queue = append(queue, v)
+				case color[u]:
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMatching verifies that edges form a matching in g: each edge exists and
+// no vertex is covered twice.
+func IsMatching(g *graph.Graph, edges []graph.Edge) bool {
+	covered := make(map[int]bool)
+	for _, e := range edges {
+		if !g.Has(e.U, e.V) {
+			return false
+		}
+		if covered[e.U] || covered[e.V] {
+			return false
+		}
+		covered[e.U] = true
+		covered[e.V] = true
+	}
+	return true
+}
+
+// GreedyMaximalMatching returns a maximal matching of g, scanning edges in
+// canonical sorted order. Its size is at least half the maximum matching.
+func GreedyMaximalMatching(g *graph.Graph) []graph.Edge {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	used := make([]bool, g.N())
+	var out []graph.Edge
+	for _, e := range edges {
+		if !used[e.U] && !used[e.V] {
+			used[e.U] = true
+			used[e.V] = true
+			out = append(out, e.Edge)
+		}
+	}
+	return out
+}
+
+// MaxMatchingSize returns the size of a maximum matching of g, computed with
+// Edmonds' blossom algorithm in O(V^3).
+func MaxMatchingSize(g *graph.Graph) int {
+	n := g.N()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		g.Neighbors(u, func(v int, _ int64) bool {
+			adj[u] = append(adj[u], v)
+			return true
+		})
+		sort.Ints(adj[u])
+	}
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	p := make([]int, n)    // parent in the alternating tree
+	base := make([]int, n) // blossom base of each vertex
+	q := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	inBlossom := make([]bool, n)
+
+	lca := func(a, b int) int {
+		used := make([]bool, n)
+		for {
+			a = base[a]
+			used[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = p[match[a]]
+		}
+		for {
+			b = base[b]
+			if used[b] {
+				return b
+			}
+			b = p[match[b]]
+		}
+	}
+
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			inBlossom[base[v]] = true
+			inBlossom[base[match[v]]] = true
+			p[v] = child
+			child = match[v]
+			v = p[match[v]]
+		}
+	}
+
+	findPath := func(root int) int {
+		for i := range p {
+			p[i] = -1
+			inQueue[i] = false
+			base[i] = i
+		}
+		q = q[:0]
+		q = append(q, root)
+		inQueue[root] = true
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, to := range adj[v] {
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && p[match[to]] != -1) {
+					// Found a blossom: contract it.
+					curBase := lca(v, to)
+					for i := range inBlossom {
+						inBlossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < n; i++ {
+						if inBlossom[base[i]] {
+							base[i] = curBase
+							if !inQueue[i] {
+								inQueue[i] = true
+								q = append(q, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if match[to] == -1 {
+						return to // augmenting path found
+					}
+					inQueue[match[to]] = true
+					q = append(q, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	size := 0
+	for v := 0; v < n; v++ {
+		if match[v] != -1 {
+			continue
+		}
+		u := findPath(v)
+		if u == -1 {
+			continue
+		}
+		size++
+		// Flip the augmenting path ending at u.
+		for u != -1 {
+			pv := p[u]
+			ppv := match[pv]
+			match[u] = pv
+			match[pv] = u
+			u = ppv
+		}
+	}
+	return size
+}
+
+// ForestPath returns the unique path between u and v in the forest given by
+// parent adjacency (as an edge list), or nil if they are disconnected. It is
+// used to validate Identify-Path and MSF cycle properties.
+func ForestPath(n int, forest []graph.Edge, u, v int) []graph.Edge {
+	adj := make(map[int][]graph.Edge)
+	for _, e := range forest {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], e)
+	}
+	prev := make(map[int]graph.Edge)
+	visited := map[int]bool{u: true}
+	queue := []int{u}
+	for len(queue) > 0 && !visited[v] {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[x] {
+			y := e.Other(x)
+			if !visited[y] {
+				visited[y] = true
+				prev[y] = e
+				queue = append(queue, y)
+			}
+		}
+	}
+	if !visited[v] {
+		return nil
+	}
+	var path []graph.Edge
+	for x := v; x != u; {
+		e := prev[x]
+		path = append(path, e)
+		x = e.Other(x)
+	}
+	// Reverse into u→v order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

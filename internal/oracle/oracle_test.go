@@ -1,0 +1,294 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hash"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		_ = g.Insert(i, i+1, 1)
+	}
+	return g
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions returned false")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union returned true")
+	}
+	if uf.Find(0) != uf.Find(2) || uf.Find(0) == uf.Find(3) {
+		t.Fatal("Find wrong")
+	}
+	if uf.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", uf.Sets())
+	}
+}
+
+func TestComponentsLabels(t *testing.T) {
+	g := graph.New(6)
+	_ = g.Insert(0, 1, 1)
+	_ = g.Insert(4, 5, 1)
+	labels := Components(g)
+	if labels[0] != 0 || labels[1] != 0 {
+		t.Errorf("component of {0,1} labeled %d,%d", labels[0], labels[1])
+	}
+	if labels[4] != 4 || labels[5] != 4 {
+		t.Errorf("component of {4,5} labeled %d,%d", labels[4], labels[5])
+	}
+	if labels[2] != 2 || labels[3] != 3 {
+		t.Error("singleton labels wrong")
+	}
+}
+
+func TestNumComponentsAndConnected(t *testing.T) {
+	g := pathGraph(4)
+	if NumComponents(g) != 1 {
+		t.Errorf("NumComponents = %d", NumComponents(g))
+	}
+	_ = g.Delete(1, 2)
+	if NumComponents(g) != 2 {
+		t.Errorf("after split NumComponents = %d", NumComponents(g))
+	}
+	if !Connected(g, 0, 1) || Connected(g, 0, 3) {
+		t.Error("Connected wrong after split")
+	}
+}
+
+func TestIsSpanningForest(t *testing.T) {
+	g := pathGraph(4)
+	forest := []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2), graph.NewEdge(2, 3)}
+	if !IsSpanningForest(g, forest) {
+		t.Error("valid spanning forest rejected")
+	}
+	// Too few edges: not spanning.
+	if IsSpanningForest(g, forest[:2]) {
+		t.Error("non-spanning forest accepted")
+	}
+	// Cycle.
+	_ = g.Insert(0, 3, 1)
+	cyc := append(append([]graph.Edge{}, forest...), graph.NewEdge(0, 3))
+	if IsSpanningForest(g, cyc) {
+		t.Error("cyclic edge set accepted")
+	}
+	// Edge not in graph.
+	g2 := pathGraph(3)
+	if IsSpanningForest(g2, []graph.Edge{graph.NewEdge(0, 2), graph.NewEdge(1, 2)}) {
+		t.Error("forest with phantom edge accepted")
+	}
+}
+
+func TestMSFSimple(t *testing.T) {
+	g := graph.New(4)
+	_ = g.Insert(0, 1, 1)
+	_ = g.Insert(1, 2, 2)
+	_ = g.Insert(2, 3, 3)
+	_ = g.Insert(0, 3, 10)
+	edges, w := MSF(g)
+	if w != 6 {
+		t.Errorf("MSF weight = %d, want 6", w)
+	}
+	if len(edges) != 3 {
+		t.Errorf("MSF size = %d, want 3", len(edges))
+	}
+}
+
+func TestMSFDisconnected(t *testing.T) {
+	g := graph.New(5)
+	_ = g.Insert(0, 1, 5)
+	_ = g.Insert(3, 4, 7)
+	edges, w := MSF(g)
+	if len(edges) != 2 || w != 12 {
+		t.Errorf("MSF = %d edges weight %d", len(edges), w)
+	}
+}
+
+func TestMSFIsSpanningForest(t *testing.T) {
+	prg := hash.NewPRG(3)
+	g := graph.New(20)
+	for i := 0; i < 40; i++ {
+		u, v := int(prg.NextN(20)), int(prg.NextN(20))
+		if u != v && !g.Has(u, v) {
+			_ = g.Insert(u, v, int64(prg.NextN(100)+1))
+		}
+	}
+	edges, _ := MSF(g)
+	plain := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		plain[i] = e.Edge
+	}
+	if !IsSpanningForest(g, plain) {
+		t.Error("MSF output is not a spanning forest")
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	even := pathGraph(6) // paths are bipartite
+	if !IsBipartite(even) {
+		t.Error("path declared non-bipartite")
+	}
+	tri := graph.New(3)
+	_ = tri.Insert(0, 1, 1)
+	_ = tri.Insert(1, 2, 1)
+	_ = tri.Insert(0, 2, 1)
+	if IsBipartite(tri) {
+		t.Error("triangle declared bipartite")
+	}
+	c4 := graph.New(4)
+	_ = c4.Insert(0, 1, 1)
+	_ = c4.Insert(1, 2, 1)
+	_ = c4.Insert(2, 3, 1)
+	_ = c4.Insert(3, 0, 1)
+	if !IsBipartite(c4) {
+		t.Error("C4 declared non-bipartite")
+	}
+	c5 := graph.New(5)
+	for i := 0; i < 5; i++ {
+		_ = c5.Insert(i, (i+1)%5, 1)
+	}
+	if IsBipartite(c5) {
+		t.Error("C5 declared bipartite")
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	g := pathGraph(4)
+	if !IsMatching(g, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)}) {
+		t.Error("valid matching rejected")
+	}
+	if IsMatching(g, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2)}) {
+		t.Error("overlapping edges accepted")
+	}
+	if IsMatching(g, []graph.Edge{graph.NewEdge(0, 2)}) {
+		t.Error("phantom edge accepted")
+	}
+}
+
+func TestGreedyMaximalMatching(t *testing.T) {
+	g := pathGraph(5)
+	m := GreedyMaximalMatching(g)
+	if !IsMatching(g, m) {
+		t.Fatal("greedy output not a matching")
+	}
+	// Maximality: no remaining edge has both endpoints free.
+	used := make(map[int]bool)
+	for _, e := range m {
+		used[e.U] = true
+		used[e.V] = true
+	}
+	for _, e := range g.Edges() {
+		if !used[e.U] && !used[e.V] {
+			t.Errorf("edge %v violates maximality", e)
+		}
+	}
+}
+
+func TestMaxMatchingSizePath(t *testing.T) {
+	for n, want := range map[int]int{2: 1, 3: 1, 4: 2, 5: 2, 6: 3, 7: 3} {
+		if got := MaxMatchingSize(pathGraph(n)); got != want {
+			t.Errorf("path %d: matching %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaxMatchingSizeOddCycle(t *testing.T) {
+	// C5 has max matching 2; blossom must handle the odd cycle.
+	c5 := graph.New(5)
+	for i := 0; i < 5; i++ {
+		_ = c5.Insert(i, (i+1)%5, 1)
+	}
+	if got := MaxMatchingSize(c5); got != 2 {
+		t.Errorf("C5 matching = %d, want 2", got)
+	}
+}
+
+func TestMaxMatchingSizePetersen(t *testing.T) {
+	// The Petersen graph has a perfect matching (size 5).
+	g := graph.New(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	for _, es := range [][][2]int{outer, inner, spokes} {
+		for _, e := range es {
+			_ = g.Insert(e[0], e[1], 1)
+		}
+	}
+	if got := MaxMatchingSize(g); got != 5 {
+		t.Errorf("Petersen matching = %d, want 5", got)
+	}
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	// Exhaustive verification on random graphs with at most 16 edges.
+	prg := hash.NewPRG(11)
+	for trial := 0; trial < 30; trial++ {
+		g := graph.New(8)
+		var edges []graph.Edge
+		for len(edges) < 10 {
+			u, v := int(prg.NextN(8)), int(prg.NextN(8))
+			if u == v || g.Has(u, v) {
+				continue
+			}
+			_ = g.Insert(u, v, 1)
+			edges = append(edges, graph.NewEdge(u, v))
+		}
+		want := bruteForceMatching(edges)
+		if got := MaxMatchingSize(g); got != want {
+			t.Fatalf("trial %d: blossom %d, brute force %d (edges %v)", trial, got, want, edges)
+		}
+	}
+}
+
+// bruteForceMatching finds the maximum matching size by trying all subsets.
+func bruteForceMatching(edges []graph.Edge) int {
+	best := 0
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		used := make(map[int]bool)
+		ok := true
+		count := 0
+		for i, e := range edges {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if used[e.U] || used[e.V] {
+				ok = false
+				break
+			}
+			used[e.U] = true
+			used[e.V] = true
+			count++
+		}
+		if ok && count > best {
+			best = count
+		}
+	}
+	return best
+}
+
+func TestForestPath(t *testing.T) {
+	forest := []graph.Edge{
+		graph.NewEdge(0, 1), graph.NewEdge(1, 2), graph.NewEdge(2, 3), graph.NewEdge(4, 5),
+	}
+	path := ForestPath(6, forest, 0, 3)
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3", len(path))
+	}
+	if path[0] != graph.NewEdge(0, 1) || path[2] != graph.NewEdge(2, 3) {
+		t.Errorf("path order wrong: %v", path)
+	}
+	if ForestPath(6, forest, 0, 5) != nil {
+		t.Error("path across components should be nil")
+	}
+	if got := ForestPath(6, forest, 2, 2); len(got) != 0 {
+		t.Errorf("self path = %v", got)
+	}
+}

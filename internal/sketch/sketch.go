@@ -1,0 +1,342 @@
+// Package sketch implements the linear ℓ0-sampling sketches of
+// Cormode–Jowhari (Lemma 3.1 of the paper) and the AGM vertex-incidence
+// sketches built from them (Section 3.1): compact, mergeable summaries of
+// dynamically changing vectors over {-1, 0, +1}^N from which a uniformly
+// random nonzero coordinate can be recovered.
+//
+// A Space fixes the shared randomness (hash functions) for a family of
+// sketches; sketches from the same Space are linear: adding two sketches
+// cell-wise yields a sketch of the sum of the underlying vectors. This is
+// the property that makes the connectivity algorithm work — summing the
+// vertex sketches of a set A cancels all edges internal to A and leaves
+// exactly the edges of the cut E(A, V \ A) (Lemma 3.3).
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hash"
+)
+
+// QueryResult classifies the outcome of an ℓ0-sampler query.
+type QueryResult int
+
+// Query outcomes.
+const (
+	// Empty means the sketched vector is zero (the ⊥ outcome of Lemma 3.1
+	// for ℓ0(X) = 0).
+	Empty QueryResult = iota
+	// Found means a nonzero coordinate was recovered.
+	Found
+	// Fail means the sampler could not recover a coordinate this time; the
+	// caller should retry with an independent copy.
+	Fail
+)
+
+// String implements fmt.Stringer.
+func (r QueryResult) String() string {
+	switch r {
+	case Empty:
+		return "empty"
+	case Found:
+		return "found"
+	default:
+		return "fail"
+	}
+}
+
+// cell is a one-sparse recovery structure: exact counter, index sum and a
+// random linear fingerprint, all linear in the underlying vector.
+type cell struct {
+	count int64  // sum of coordinate values
+	isum  uint64 // sum of value*index over F_p
+	fp    uint64 // sum of value*h_fp(index) over F_p
+}
+
+// cellWords is the memory footprint of one cell in machine words.
+const cellWords = 3
+
+func (c *cell) zero() bool { return c.count == 0 && c.isum == 0 && c.fp == 0 }
+
+func (c *cell) update(idx, hfp uint64, delta int) {
+	c.count += int64(delta)
+	if delta > 0 {
+		c.isum = addModP(c.isum, idx%hash.Prime)
+		c.fp = addModP(c.fp, hfp)
+	} else {
+		c.isum = subModP(c.isum, idx%hash.Prime)
+		c.fp = subModP(c.fp, hfp)
+	}
+}
+
+func (c *cell) add(o cell) {
+	c.count += o.count
+	c.isum = addModP(c.isum, o.isum)
+	c.fp = addModP(c.fp, o.fp)
+}
+
+func addModP(a, b uint64) uint64 {
+	s := a + b
+	if s >= hash.Prime {
+		s -= hash.Prime
+	}
+	return s
+}
+
+func subModP(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + hash.Prime - b
+}
+
+// recover attempts one-sparse recovery. It succeeds only when the cell
+// contains exactly one coordinate with value ±1 (the only values arising
+// from simple-graph incidence vectors), verified against the fingerprint,
+// so false positives occur with probability at most 1/Prime.
+func (c *cell) recover(fpHash *hash.Family, idSpace uint64) (idx uint64, ok bool) {
+	switch c.count {
+	case 1:
+		idx = c.isum
+	case -1:
+		idx = subModP(0, c.isum)
+	default:
+		return 0, false
+	}
+	if idx >= idSpace {
+		return 0, false
+	}
+	want := fpHash.Hash(idx)
+	if c.count == -1 {
+		want = subModP(0, want)
+	}
+	if c.fp != want {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Space holds the shared randomness for a family of mergeable sketches: t
+// independent copies, each with its own level hash and fingerprint hash.
+// Every sketch that is ever added to another must come from the same Space.
+type Space struct {
+	idSpace uint64
+	t       int
+	levels  int
+	levelH  []*hash.Family
+	fpH     []*hash.Family
+}
+
+// NewSpace creates a space for vectors indexed by [0, idSpace) with t
+// independent sampler copies per sketch, drawing randomness from prg.
+func NewSpace(idSpace uint64, t int, prg *hash.PRG) *Space {
+	if idSpace == 0 {
+		panic("sketch: empty id space")
+	}
+	if t < 1 {
+		panic(fmt.Sprintf("sketch: t = %d", t))
+	}
+	levels := 1
+	for v := uint64(1); v < idSpace; v *= 2 {
+		levels++
+		if levels > 64 {
+			break
+		}
+	}
+	s := &Space{idSpace: idSpace, t: t, levels: levels}
+	s.levelH = make([]*hash.Family, t)
+	s.fpH = make([]*hash.Family, t)
+	for i := 0; i < t; i++ {
+		s.levelH[i] = hash.NewFourwise(prg)
+		s.fpH[i] = hash.NewFourwise(prg)
+	}
+	return s
+}
+
+// NewGraphSpace creates a space for the edge-incidence vectors of graphs on
+// n vertices (index space n^2) with t copies.
+func NewGraphSpace(n, t int, prg *hash.PRG) *Space {
+	return NewSpace(graph.IDSpace(n), t, prg)
+}
+
+// Copies returns the number of independent sampler copies per sketch.
+func (s *Space) Copies() int { return s.t }
+
+// Levels returns the number of subsampling levels per copy.
+func (s *Space) Levels() int { return s.levels }
+
+// SketchWords returns the size in machine words of one sketch from this
+// space; it is O(log^2 N) words: t copies of (levels+1) cells.
+func (s *Space) SketchWords() int { return s.t * (s.levels + 1) * cellWords }
+
+// Sketch is a linear ℓ0-sampling sketch of a vector in {-1,0,+1}^idSpace.
+// The zero value is not usable; create sketches with Space.NewSketch.
+type Sketch struct {
+	space *Space
+	cells []cell // t * (levels+1), row-major by copy
+}
+
+// NewSketch returns a sketch of the zero vector.
+func (s *Space) NewSketch() *Sketch {
+	return &Sketch{space: s, cells: make([]cell, s.t*(s.levels+1))}
+}
+
+// Space returns the space the sketch belongs to.
+func (sk *Sketch) Space() *Space { return sk.space }
+
+// Words returns the sketch's size in machine words.
+func (sk *Sketch) Words() int { return len(sk.cells) * cellWords }
+
+// Update applies X[idx] += delta; delta must be +1 or -1.
+func (sk *Sketch) Update(idx uint64, delta int) {
+	if delta != 1 && delta != -1 {
+		panic(fmt.Sprintf("sketch: delta %d", delta))
+	}
+	if idx >= sk.space.idSpace {
+		panic(fmt.Sprintf("sketch: index %d out of space %d", idx, sk.space.idSpace))
+	}
+	L := sk.space.levels
+	for c := 0; c < sk.space.t; c++ {
+		lvl := sk.space.levelH[c].Level(idx, L)
+		hfp := sk.space.fpH[c].Hash(idx)
+		base := c * (L + 1)
+		// Design: level l holds all items whose sampling level is >= l, so
+		// level 0 always holds the full vector and level l subsamples with
+		// probability 2^-l.
+		for l := 0; l <= lvl; l++ {
+			sk.cells[base+l].update(idx, hfp, delta)
+		}
+	}
+}
+
+// Add merges other into sk cell-wise. Both sketches must come from the same
+// Space; afterwards sk summarizes the sum of the two vectors.
+func (sk *Sketch) Add(other *Sketch) {
+	if sk.space != other.space {
+		panic("sketch: adding sketches from different spaces")
+	}
+	for i := range sk.cells {
+		sk.cells[i].add(other.cells[i])
+	}
+}
+
+// Clone returns a deep copy of the sketch.
+func (sk *Sketch) Clone() *Sketch {
+	c := &Sketch{space: sk.space, cells: make([]cell, len(sk.cells))}
+	copy(c.cells, sk.cells)
+	return c
+}
+
+// Sum returns a fresh sketch equal to the cell-wise sum of the arguments,
+// which must be non-empty and share a Space.
+func Sum(sketches ...*Sketch) *Sketch {
+	if len(sketches) == 0 {
+		panic("sketch: Sum of nothing")
+	}
+	out := sketches[0].Clone()
+	for _, s := range sketches[1:] {
+		out.Add(s)
+	}
+	return out
+}
+
+// Query attempts to recover a nonzero coordinate using copy c. Each copy is
+// an independent sampler: it fails with at most constant probability, so
+// querying different copies for the same vector boosts success. Copies
+// consumed by one Borůvka-style round must not be reused in later rounds of
+// the same extraction (the vector then depends on the copy's randomness).
+func (sk *Sketch) Query(c int) (idx uint64, res QueryResult) {
+	if c < 0 || c >= sk.space.t {
+		panic(fmt.Sprintf("sketch: copy %d of %d", c, sk.space.t))
+	}
+	L := sk.space.levels
+	base := c * (L + 1)
+	if sk.cells[base].zero() {
+		return 0, Empty
+	}
+	// Scan from the sparsest level down; the first one-sparse cell yields
+	// the sample.
+	for l := L; l >= 0; l-- {
+		if idx, ok := sk.cells[base+l].recover(sk.space.fpH[c], sk.space.idSpace); ok {
+			return idx, Found
+		}
+	}
+	return 0, Fail
+}
+
+// QueryAny tries all copies starting from startCopy and returns the first
+// decisive outcome. It reports Fail only if every copy fails.
+func (sk *Sketch) QueryAny(startCopy int) (idx uint64, res QueryResult) {
+	t := sk.space.t
+	for off := 0; off < t; off++ {
+		c := (startCopy + off) % t
+		idx, r := sk.Query(c)
+		if r != Fail {
+			return idx, r
+		}
+	}
+	return 0, Fail
+}
+
+// EdgeSign returns the sign with which edge e contributes to the incidence
+// vector X_w of vertex w: +1 when w is the larger endpoint, -1 when it is
+// the smaller (Section 3.1). It panics if w is not an endpoint of e.
+func EdgeSign(w int, e graph.Edge) int {
+	c := e.Canonical()
+	switch w {
+	case c.V:
+		return 1
+	case c.U:
+		return -1
+	default:
+		panic(fmt.Sprintf("sketch: vertex %d not an endpoint of %v", w, e))
+	}
+}
+
+// VertexSketch is an AGM sketch of the incidence vector X_v of one vertex.
+type VertexSketch struct {
+	*Sketch
+	n int
+}
+
+// NewVertexSketch returns the sketch of an isolated vertex in a graph on n
+// vertices. space must have been built over id space n^2.
+func NewVertexSketch(space *Space, n int) *VertexSketch {
+	if space.idSpace != graph.IDSpace(n) {
+		panic("sketch: space does not match vertex count")
+	}
+	return &VertexSketch{Sketch: space.NewSketch(), n: n}
+}
+
+// ApplyEdge updates the sketch of vertex w for an insertion (op =
+// graph.Insert) or deletion of edge e incident to w.
+func (vs *VertexSketch) ApplyEdge(w int, e graph.Edge, op graph.Op) {
+	sign := EdgeSign(w, e)
+	if op == graph.Delete {
+		sign = -sign
+	}
+	vs.Update(e.ID(vs.n), sign)
+}
+
+// QueryEdge recovers an edge of the cut around the sketched vertex set using
+// copy c. The sign of the recovered coordinate is immaterial: coordinate
+// indices identify edges directly.
+func (vs *VertexSketch) QueryEdge(c int) (graph.Edge, QueryResult) {
+	idx, res := vs.Query(c)
+	if res != Found {
+		return graph.Edge{}, res
+	}
+	return graph.EdgeFromID(idx, vs.n), Found
+}
+
+// CloneVertex returns a deep copy preserving the vertex-sketch wrapper.
+func (vs *VertexSketch) CloneVertex() *VertexSketch {
+	return &VertexSketch{Sketch: vs.Sketch.Clone(), n: vs.n}
+}
+
+// AddVertex merges another vertex sketch into vs; the result summarizes
+// X_A for the union of the underlying vertex sets.
+func (vs *VertexSketch) AddVertex(other *VertexSketch) {
+	vs.Add(other.Sketch)
+}

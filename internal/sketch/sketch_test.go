@@ -1,0 +1,444 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hash"
+)
+
+func newTestSpace(idSpace uint64, t int, seed uint64) *Space {
+	return NewSpace(idSpace, t, hash.NewPRG(seed))
+}
+
+func TestEmptySketchQueriesEmpty(t *testing.T) {
+	sp := newTestSpace(1024, 8, 1)
+	sk := sp.NewSketch()
+	for c := 0; c < sp.Copies(); c++ {
+		if _, res := sk.Query(c); res != Empty {
+			t.Errorf("copy %d: empty sketch returned %v", c, res)
+		}
+	}
+}
+
+func TestSingleElementRecovery(t *testing.T) {
+	sp := newTestSpace(1024, 8, 2)
+	for _, idx := range []uint64{0, 1, 17, 1023} {
+		for _, delta := range []int{1, -1} {
+			sk := sp.NewSketch()
+			sk.Update(idx, delta)
+			got, res := sk.QueryAny(0)
+			if res != Found {
+				t.Errorf("idx=%d delta=%d: result %v", idx, delta, res)
+				continue
+			}
+			if got != idx {
+				t.Errorf("idx=%d delta=%d: recovered %d", idx, delta, got)
+			}
+		}
+	}
+}
+
+func TestInsertDeleteCancels(t *testing.T) {
+	sp := newTestSpace(4096, 8, 3)
+	sk := sp.NewSketch()
+	prg := hash.NewPRG(77)
+	var idxs []uint64
+	for i := 0; i < 200; i++ {
+		idx := prg.NextN(4096)
+		idxs = append(idxs, idx)
+		sk.Update(idx, 1)
+		sk.Update(idx, -1) // immediately cancel to keep the vector in range
+	}
+	_ = idxs
+	if _, res := sk.QueryAny(0); res != Empty {
+		t.Errorf("fully cancelled sketch returned %v", res)
+	}
+}
+
+func TestRecoveryFromDenseVector(t *testing.T) {
+	// Insert many coordinates; the sampler must recover some member of the
+	// support.
+	sp := newTestSpace(1<<14, 16, 4)
+	sk := sp.NewSketch()
+	support := make(map[uint64]bool)
+	prg := hash.NewPRG(5)
+	for len(support) < 500 {
+		idx := prg.NextN(1 << 14)
+		if !support[idx] {
+			support[idx] = true
+			sk.Update(idx, 1)
+		}
+	}
+	found := 0
+	for c := 0; c < sp.Copies(); c++ {
+		idx, res := sk.Query(c)
+		if res == Found {
+			found++
+			if !support[idx] {
+				t.Fatalf("copy %d recovered %d not in support", c, idx)
+			}
+		}
+		if res == Empty {
+			t.Fatalf("copy %d reported empty for dense vector", c)
+		}
+	}
+	if found == 0 {
+		t.Error("no copy recovered a coordinate from a 500-element support")
+	}
+}
+
+func TestQuerySuccessRate(t *testing.T) {
+	// Across many independent spaces, QueryAny must almost always succeed
+	// on vectors of widely varying density.
+	for _, density := range []int{1, 2, 10, 100, 1000} {
+		fails := 0
+		const trials = 60
+		for trial := 0; trial < trials; trial++ {
+			sp := newTestSpace(1<<13, 12, uint64(1000+trial))
+			sk := sp.NewSketch()
+			prg := hash.NewPRG(uint64(trial))
+			seen := make(map[uint64]bool)
+			for len(seen) < density {
+				idx := prg.NextN(1 << 13)
+				if !seen[idx] {
+					seen[idx] = true
+					sk.Update(idx, 1)
+				}
+			}
+			if _, res := sk.QueryAny(0); res != Found {
+				fails++
+			}
+		}
+		if fails > trials/10 {
+			t.Errorf("density %d: %d/%d QueryAny failures", density, fails, trials)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	sp := newTestSpace(1<<12, 8, 6)
+	a, b := sp.NewSketch(), sp.NewSketch()
+	// a holds {5, 9}; b holds {9 with opposite sign, 100}. Sum = {5, 100}.
+	a.Update(5, 1)
+	a.Update(9, 1)
+	b.Update(9, -1)
+	b.Update(100, 1)
+	a.Add(b)
+	got := map[uint64]bool{}
+	for c := 0; c < sp.Copies(); c++ {
+		if idx, res := a.Query(c); res == Found {
+			got[idx] = true
+		}
+	}
+	for idx := range got {
+		if idx != 5 && idx != 100 {
+			t.Errorf("recovered %d, not in summed support {5,100}", idx)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("no recovery from summed sketch")
+	}
+}
+
+func TestSumDoesNotMutateArguments(t *testing.T) {
+	sp := newTestSpace(256, 4, 7)
+	a, b := sp.NewSketch(), sp.NewSketch()
+	a.Update(3, 1)
+	b.Update(4, 1)
+	s := Sum(a, b)
+	// a must still summarize {3} alone.
+	idx, res := a.QueryAny(0)
+	if res != Found || idx != 3 {
+		t.Errorf("a changed after Sum: %d %v", idx, res)
+	}
+	gotSum := map[uint64]bool{}
+	for c := 0; c < 4; c++ {
+		if idx, res := s.Query(c); res == Found {
+			gotSum[idx] = true
+		}
+	}
+	for idx := range gotSum {
+		if idx != 3 && idx != 4 {
+			t.Errorf("sum recovered %d", idx)
+		}
+	}
+}
+
+func TestAddDifferentSpacesPanics(t *testing.T) {
+	a := newTestSpace(256, 4, 8).NewSketch()
+	b := newTestSpace(256, 4, 9).NewSketch()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add across spaces did not panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestUpdateValidation(t *testing.T) {
+	sp := newTestSpace(16, 2, 10)
+	sk := sp.NewSketch()
+	for _, bad := range []func(){
+		func() { sk.Update(0, 2) },
+		func() { sk.Update(0, 0) },
+		func() { sk.Update(16, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Update did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestQueryCopyValidation(t *testing.T) {
+	sp := newTestSpace(16, 2, 11)
+	sk := sp.NewSketch()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Query with bad copy did not panic")
+		}
+	}()
+	sk.Query(2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	sp := newTestSpace(128, 4, 12)
+	a := sp.NewSketch()
+	a.Update(7, 1)
+	c := a.Clone()
+	c.Update(7, -1)
+	if _, res := a.QueryAny(0); res != Found {
+		t.Error("mutating clone affected original")
+	}
+	if _, res := c.QueryAny(0); res != Empty {
+		t.Error("clone did not cancel")
+	}
+}
+
+func TestSketchWords(t *testing.T) {
+	sp := newTestSpace(1024, 4, 13)
+	sk := sp.NewSketch()
+	if sk.Words() != sp.SketchWords() {
+		t.Errorf("Words() = %d, SketchWords() = %d", sk.Words(), sp.SketchWords())
+	}
+	if sk.Words() != 4*(sp.Levels()+1)*3 {
+		t.Errorf("Words() = %d", sk.Words())
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewSpace(0, 4, hash.NewPRG(1)) },
+		func() { NewSpace(16, 0, hash.NewPRG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewSpace did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestEdgeSign(t *testing.T) {
+	e := graph.NewEdge(2, 7)
+	if EdgeSign(7, e) != 1 {
+		t.Error("larger endpoint should have sign +1")
+	}
+	if EdgeSign(2, e) != -1 {
+		t.Error("smaller endpoint should have sign -1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EdgeSign on non-endpoint did not panic")
+		}
+	}()
+	EdgeSign(3, e)
+}
+
+func TestVertexSketchCutRecovery(t *testing.T) {
+	// Build a path 0-1-2-3 and check that the summed sketch of A = {0,1}
+	// recovers exactly the single cut edge {1,2}.
+	const n = 16
+	sp := NewGraphSpace(n, 12, hash.NewPRG(14))
+	vs := make([]*VertexSketch, n)
+	for v := range vs {
+		vs[v] = NewVertexSketch(sp, n)
+	}
+	edges := []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2), graph.NewEdge(2, 3)}
+	for _, e := range edges {
+		vs[e.U].ApplyEdge(e.U, e, graph.Insert)
+		vs[e.V].ApplyEdge(e.V, e, graph.Insert)
+	}
+	cut := vs[0].CloneVertex()
+	cut.AddVertex(vs[1])
+	e, res := cut.QueryEdge(0)
+	if res == Fail {
+		// try the other copies
+		for c := 1; c < sp.Copies(); c++ {
+			e, res = cut.QueryEdge(c)
+			if res != Fail {
+				break
+			}
+		}
+	}
+	if res != Found {
+		t.Fatalf("cut query result %v", res)
+	}
+	if e != graph.NewEdge(1, 2) {
+		t.Errorf("cut edge = %v, want {1,2}", e)
+	}
+}
+
+func TestVertexSketchInternalEdgesCancel(t *testing.T) {
+	// A = {0,1,2,3} holding a path 0-1-2-3 has an empty cut.
+	const n = 8
+	sp := NewGraphSpace(n, 8, hash.NewPRG(15))
+	vs := make([]*VertexSketch, n)
+	for v := range vs {
+		vs[v] = NewVertexSketch(sp, n)
+	}
+	for _, e := range []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2), graph.NewEdge(2, 3)} {
+		vs[e.U].ApplyEdge(e.U, e, graph.Insert)
+		vs[e.V].ApplyEdge(e.V, e, graph.Insert)
+	}
+	cut := Sum(vs[0].Sketch, vs[1].Sketch, vs[2].Sketch, vs[3].Sketch)
+	if _, res := cut.QueryAny(0); res != Empty {
+		t.Errorf("internal edges did not cancel: %v", res)
+	}
+}
+
+func TestVertexSketchDeletion(t *testing.T) {
+	const n = 8
+	sp := NewGraphSpace(n, 8, hash.NewPRG(16))
+	a := NewVertexSketch(sp, n)
+	e := graph.NewEdge(0, 5)
+	a.ApplyEdge(0, e, graph.Insert)
+	a.ApplyEdge(0, e, graph.Delete)
+	if _, res := a.QueryAny(0); res != Empty {
+		t.Error("insert+delete did not cancel in vertex sketch")
+	}
+}
+
+func TestNewVertexSketchSpaceMismatchPanics(t *testing.T) {
+	sp := NewGraphSpace(8, 2, hash.NewPRG(17))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched space did not panic")
+		}
+	}()
+	NewVertexSketch(sp, 9)
+}
+
+func TestQueryResultString(t *testing.T) {
+	if Empty.String() != "empty" || Found.String() != "found" || Fail.String() != "fail" {
+		t.Error("QueryResult.String wrong")
+	}
+}
+
+func TestSumEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sum() did not panic")
+		}
+	}()
+	Sum()
+}
+
+func TestRecoveredIndexAlwaysInSupport(t *testing.T) {
+	// Property: whatever Query returns as Found must be a member of the
+	// true support, across random vectors.
+	prg := hash.NewPRG(99)
+	for trial := 0; trial < 40; trial++ {
+		sp := newTestSpace(2048, 8, prg.Next())
+		sk := sp.NewSketch()
+		support := make(map[uint64]int)
+		for i := 0; i < 64; i++ {
+			idx := prg.NextN(2048)
+			delta := 1
+			if prg.Next()&1 == 0 && support[idx] == 1 {
+				delta = -1
+			} else if support[idx] != 0 {
+				continue
+			}
+			support[idx] += delta
+			if support[idx] == 0 {
+				delete(support, idx)
+			}
+			sk.Update(idx, delta)
+		}
+		for c := 0; c < sp.Copies(); c++ {
+			idx, res := sk.Query(c)
+			switch res {
+			case Found:
+				if support[idx] == 0 {
+					t.Fatalf("trial %d copy %d: recovered %d outside support", trial, c, idx)
+				}
+			case Empty:
+				if len(support) != 0 {
+					t.Fatalf("trial %d copy %d: empty but support has %d", trial, c, len(support))
+				}
+			}
+		}
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	// Property: for random disjoint update sequences A and B, the cell-wise
+	// sum of their sketches always behaves like the sketch of the combined
+	// sequence: a Found result is in the combined support and Empty occurs
+	// only when the combined vector is zero.
+	f := func(seed uint64) bool {
+		prg := hash.NewPRG(seed)
+		sp := NewSpace(1<<10, 6, hash.NewPRG(seed^0xabcd))
+		a, b, both := sp.NewSketch(), sp.NewSketch(), sp.NewSketch()
+		support := map[uint64]int{}
+		for i := 0; i < 40; i++ {
+			idx := prg.NextN(1 << 10)
+			delta := 1
+			if support[idx] == 1 && prg.Next()&1 == 0 {
+				delta = -1
+			} else if support[idx] != 0 {
+				continue
+			}
+			support[idx] += delta
+			if support[idx] == 0 {
+				delete(support, idx)
+			}
+			target := a
+			if prg.Next()&1 == 0 {
+				target = b
+			}
+			target.Update(idx, delta)
+			both.Update(idx, delta)
+		}
+		sum := Sum(a, b)
+		for c := 0; c < sp.Copies(); c++ {
+			i1, r1 := sum.Query(c)
+			i2, r2 := both.Query(c)
+			// Same shared randomness and same underlying vector: identical
+			// cells, hence identical outcomes.
+			if r1 != r2 || (r1 == Found && i1 != i2) {
+				return false
+			}
+			if r1 == Found && support[i1] == 0 {
+				return false
+			}
+			if r1 == Empty && len(support) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package streamio reads and writes update streams in a plain text format,
+// one update per line:
+//
+//	i <u> <v> [w]   insert edge {u,v} with optional weight w
+//	d <u> <v> [w]   delete edge {u,v}
+//	#               comment/blank lines are skipped
+//	--              batch separator
+//
+// The format lets cmd/mpcstream replay externally produced traces and lets
+// tests persist regression streams.
+package streamio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Read parses a stream into batches.
+func Read(r io.Reader) ([]graph.Batch, error) {
+	var out []graph.Batch
+	var cur graph.Batch
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "--" {
+			if len(cur) > 0 {
+				out = append(out, cur)
+				cur = nil
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("streamio: line %d: want 'op u v [w]', got %q", lineNo, line)
+		}
+		var op graph.Op
+		switch fields[0] {
+		case "i":
+			op = graph.Insert
+		case "d":
+			op = graph.Delete
+		default:
+			return nil, fmt.Errorf("streamio: line %d: unknown op %q", lineNo, fields[0])
+		}
+		u, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		v, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[2])
+		}
+		if u == v {
+			return nil, fmt.Errorf("streamio: line %d: self loop", lineNo)
+		}
+		var w int64
+		if len(fields) == 4 {
+			w, err = strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("streamio: line %d: bad weight %q", lineNo, fields[3])
+			}
+		}
+		cur = append(cur, graph.Update{Op: op, Edge: graph.NewEdge(u, v), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("streamio: %w", err)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// Write serializes batches in the format Read accepts.
+func Write(w io.Writer, batches []graph.Batch) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range batches {
+		if i > 0 {
+			if _, err := fmt.Fprintln(bw, "--"); err != nil {
+				return err
+			}
+		}
+		for _, u := range b {
+			op := "i"
+			if u.Op == graph.Delete {
+				op = "d"
+			}
+			var err error
+			if u.Weight != 0 {
+				_, err = fmt.Fprintf(bw, "%s %d %d %d\n", op, u.Edge.U, u.Edge.V, u.Weight)
+			} else {
+				_, err = fmt.Fprintf(bw, "%s %d %d\n", op, u.Edge.U, u.Edge.V)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxVertex returns the largest vertex id referenced by the batches, or -1
+// for an empty stream.
+func MaxVertex(batches []graph.Batch) int {
+	max := -1
+	for _, b := range batches {
+		for _, u := range b {
+			if u.Edge.V > max {
+				max = u.Edge.V
+			}
+			if u.Edge.U > max {
+				max = u.Edge.U
+			}
+		}
+	}
+	return max
+}

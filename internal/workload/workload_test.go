@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestChurnBatchesAreValid(t *testing.T) {
+	c := NewChurn(Config{N: 20, Seed: 1})
+	check := graph.New(20)
+	for step := 0; step < 30; step++ {
+		b := c.Next(5)
+		if err := check.Apply(b); err != nil {
+			t.Fatalf("step %d: invalid batch: %v", step, err)
+		}
+	}
+	if check.M() != c.Mirror().M() {
+		t.Errorf("mirror M %d, check M %d", c.Mirror().M(), check.M())
+	}
+}
+
+func TestChurnWeighted(t *testing.T) {
+	c := NewChurn(Config{N: 10, Seed: 2, MaxWeight: 7})
+	b := c.NextInsertOnly(8)
+	for _, u := range b {
+		if u.Weight < 1 || u.Weight > 7 {
+			t.Errorf("weight %d out of range", u.Weight)
+		}
+	}
+}
+
+func TestChurnInsertOnlyAndDeleteOnly(t *testing.T) {
+	c := NewChurn(Config{N: 12, Seed: 3})
+	ins := c.NextInsertOnly(6)
+	for _, u := range ins {
+		if u.Op != graph.Insert {
+			t.Fatal("NextInsertOnly emitted a delete")
+		}
+	}
+	del := c.NextDeleteOnly(3)
+	for _, u := range del {
+		if u.Op != graph.Delete {
+			t.Fatal("NextDeleteOnly emitted an insert")
+		}
+	}
+	if len(del) != 3 {
+		t.Errorf("deleted %d, want 3", len(del))
+	}
+}
+
+func TestChurnInsertBiasDensifies(t *testing.T) {
+	dense := NewChurn(Config{N: 16, Seed: 4, InsertBias: 0.95})
+	sparse := NewChurn(Config{N: 16, Seed: 4, InsertBias: 0.05})
+	for step := 0; step < 40; step++ {
+		dense.Next(4)
+		sparse.Next(4)
+	}
+	if dense.Mirror().M() <= sparse.Mirror().M() {
+		t.Errorf("dense M %d <= sparse M %d", dense.Mirror().M(), sparse.Mirror().M())
+	}
+}
+
+func TestPathStream(t *testing.T) {
+	batches := PathStream(10, 4)
+	total := 0
+	g := graph.New(10)
+	for _, b := range batches {
+		if len(b) > 4 {
+			t.Errorf("batch size %d > 4", len(b))
+		}
+		total += len(b)
+		if err := g.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 9 {
+		t.Errorf("total edges %d, want 9", total)
+	}
+}
+
+func TestCycleTearDown(t *testing.T) {
+	build, tear := CycleTearDown(12, 3)
+	g := graph.New(12)
+	for _, b := range build {
+		if err := g.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.M() != 12 {
+		t.Fatalf("cycle has %d edges", g.M())
+	}
+	for _, b := range tear {
+		if err := g.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.M() >= 12 {
+		t.Error("tear-down deleted nothing")
+	}
+}
+
+func TestBipartiteishViolation(t *testing.T) {
+	b := NewBipartiteish(16, 5, 2)
+	sawSameParity := false
+	for step := 0; step < 4; step++ {
+		batch := b.Next(4)
+		for _, u := range batch {
+			if (u.Edge.U^u.Edge.V)&1 == 0 {
+				if step != 2 {
+					t.Errorf("same-parity edge at step %d", step)
+				}
+				sawSameParity = true
+			}
+		}
+	}
+	if !sawSameParity {
+		t.Error("violation step emitted no same-parity edge")
+	}
+}
+
+func TestNewChurnPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=1 did not panic")
+		}
+	}()
+	NewChurn(Config{N: 1})
+}
