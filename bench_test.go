@@ -1,19 +1,21 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/mpc"
 	"repro/internal/workload"
 )
 
-// The benchmarks regenerate the experiment tables of EXPERIMENTS.md (one
-// bench per experiment; the paper has no measured tables of its own, so
-// each theorem of the evaluation-grade claims is converted into a table —
-// see DESIGN.md §4). Each bench prints its table once and then times the
-// core operation it measures.
+// The benchmarks regenerate the experiment tables (one bench per
+// experiment; the paper has no measured tables of its own, so each theorem
+// of the evaluation-grade claims is converted into a table — see README.md
+// "Experiments"). Each bench prints its table once and then times the core
+// operation it measures.
 
 var printed = map[string]bool{}
 
@@ -137,6 +139,65 @@ func BenchmarkBatchApplyThroughput(b *testing.B) {
 		updates += len(batch)
 	}
 	b.ReportMetric(float64(updates)/float64(b.N), "updates/op")
+}
+
+// benchmarkStep times raw synchronous rounds of the simulator substrate
+// under a given execution engine: every machine scans its local store
+// (deterministic local work, as an algorithm's shard scan would) and sends
+// one word to a neighbor. This isolates the engine itself — the same
+// StepFunc, message volume, and metering at every parallelism.
+func benchmarkStep(b *testing.B, machines, parallelism int) {
+	const storeWords = 512
+	c := mpc.NewCluster(mpc.Config{
+		Machines:    machines,
+		LocalMemory: 1 << 20,
+		Parallelism: parallelism,
+	})
+	c.LocalAll(func(m *mpc.Machine) {
+		buf := make(mpc.U64s, storeWords)
+		for i := range buf {
+			buf[i] = uint64(m.ID + i)
+		}
+		m.Set("shard", buf)
+	})
+	// Per-machine sinks keep the scan from being optimized away without
+	// sharing state across concurrent callbacks (StepFunc contract).
+	sinks := make([]uint64, machines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(func(m *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+			buf := m.Get("shard").(mpc.U64s)
+			var acc uint64
+			for pass := 0; pass < 4; pass++ {
+				for _, v := range buf {
+					acc = acc*31 + v
+				}
+			}
+			sinks[m.ID] += acc
+			return []mpc.Message{{To: (m.ID + 1) % machines, Payload: mpc.Word(acc)}}
+		})
+	}
+	b.StopTimer()
+	var sink uint64
+	for _, s := range sinks {
+		sink += s
+	}
+	_ = sink
+}
+
+// BenchmarkStepParallel compares the sequential executor against the
+// worker-pool executor on identical rounds at several cluster sizes. The
+// seq/pool pairs at each machine count are directly comparable; the pool
+// uses runtime.NumCPU() workers.
+func BenchmarkStepParallel(b *testing.B) {
+	for _, machines := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("seq/%d", machines), func(b *testing.B) {
+			benchmarkStep(b, machines, 1)
+		})
+		b.Run(fmt.Sprintf("pool/%d", machines), func(b *testing.B) {
+			benchmarkStep(b, machines, -1)
+		})
+	}
 }
 
 // BenchmarkForestLink isolates the Euler-tour Link path.

@@ -1,17 +1,22 @@
-// Command experiments regenerates every table in EXPERIMENTS.md.
+// Command experiments regenerates every experiment table (E1–E13; see
+// README.md "Experiments").
 //
 // Usage:
 //
-//	experiments [-quick] [-only E1,E3]
+//	experiments [-quick] [-only E1,E3] [-parallelism N]
 //
 // -quick shrinks the instance sizes for a fast smoke run; -only restricts
-// to a comma-separated list of experiment ids.
+// to a comma-separated list of experiment ids; -parallelism sets the
+// execution-engine worker count for every experiment (0 or 1 sequential,
+// negative = NumCPU). Tables are identical at every parallelism; only
+// wall-clock changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -20,7 +25,10 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size instances")
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(),
+		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU)")
 	flag.Parse()
+	experiments.Parallelism = *parallelism
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -84,10 +92,19 @@ func main() {
 	run("E12", func() *experiments.Table {
 		return experiments.E12CommunicationPerRound(sizes[:len(sizes)-1], batches, 12)
 	})
+	run("E13", func() *experiments.Table {
+		par := []int{1, 2, runtime.NumCPU()}
+		n := 4 * sizes[len(sizes)-1]
+		if *quick {
+			par = []int{1, runtime.NumCPU()}
+			n = 2 * sizes[len(sizes)-1]
+		}
+		return experiments.E13ParallelSpeedup(n, par, batches, 13)
+	})
 	if len(want) > 0 {
 		for id := range want {
 			switch id {
-			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12":
+			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
 				os.Exit(2)

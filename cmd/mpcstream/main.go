@@ -8,17 +8,21 @@
 //	mpcstream -algo bipartite -n 128
 //	mpcstream -algo matching -n 128 -alpha 4
 //	mpcstream -algo connectivity -stream trace.txt
+//	mpcstream -algo connectivity -n 4096 -parallelism 8
 //
 // Algorithms: connectivity, msf (exact, insertion-only), approxmsf,
 // bipartite, matching (insertion-only greedy), dynmatching (AKLY).
 // With -stream, updates are replayed from a file in the streamio text
-// format instead of being generated.
+// format instead of being generated. -parallelism selects the simulator's
+// execution engine (worker-pool rounds); results and reported statistics
+// are identical at every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -42,23 +46,25 @@ func main() {
 	maxWeight := flag.Int64("maxweight", 64, "maximum edge weight")
 	insertBias := flag.Float64("insertbias", 0.6, "probability of keeping an existing edge")
 	streamFile := flag.String("stream", "", "replay updates from a streamio-format file")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(),
+		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU); results are identical at every setting")
 	flag.Parse()
 
 	if *streamFile != "" {
-		if err := runStream(*algo, *streamFile, *phi, *seed); err != nil {
+		if err := runStream(*algo, *streamFile, *phi, *seed, *parallelism); err != nil {
 			fmt.Fprintln(os.Stderr, "mpcstream:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias); err != nil {
+	if err := run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64) error {
-	cfg := core.Config{N: n, Phi: phi, Seed: seed}
+func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism int) error {
+	cfg := core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism}
 	gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, MaxWeight: maxWeight, InsertBias: insertBias})
 	switch algo {
 	case "connectivity":
@@ -154,7 +160,7 @@ func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps f
 }
 
 // runStream replays a trace file through the connectivity algorithm.
-func runStream(algo, path string, phi float64, seed uint64) error {
+func runStream(algo, path string, phi float64, seed uint64, parallelism int) error {
 	if algo != "connectivity" {
 		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
 	}
@@ -171,7 +177,7 @@ func runStream(algo, path string, phi float64, seed uint64) error {
 	if n < 2 {
 		return fmt.Errorf("stream references fewer than 2 vertices")
 	}
-	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed})
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

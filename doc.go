@@ -1,7 +1,8 @@
 // Package repro is a from-scratch Go reproduction of "Streaming Graph
 // Algorithms in the Massively Parallel Computation Model" (Czumaj, Mishra,
-// Mukherjee; PODC 2024). See README.md for the layout: the MPC simulator
-// and algorithm packages live under internal/, runnable examples under
-// examples/, and the experiment harness behind bench_test.go and
-// cmd/experiments regenerates every table in EXPERIMENTS.md.
+// Mukherjee; PODC 2024). See README.md for the repository layout, the
+// pluggable execution-engine architecture of the MPC simulator, and how to
+// run the experiment tables and benchmarks. The simulator and algorithm
+// packages live under internal/, runnable examples under examples/, and the
+// experiment harness behind bench_test.go and cmd/experiments.
 package repro

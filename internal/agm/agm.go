@@ -53,6 +53,9 @@ type Config struct {
 	Seed               uint64
 	Strict             bool
 	VerticesPerMachine int
+	// Parallelism is passed through to the cluster's execution engine
+	// (see mpc.Config.Parallelism).
+	Parallelism int
 }
 
 // New creates the baseline for an empty graph on cfg.N vertices.
@@ -78,6 +81,7 @@ func New(cfg Config) (*Connectivity, error) {
 		Machines:    m,
 		LocalMemory: vpm * (64 + space.SketchWords()),
 		Strict:      cfg.Strict,
+		Parallelism: cfg.Parallelism,
 	})
 	c := &Connectivity{
 		n:     cfg.N,

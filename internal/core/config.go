@@ -44,6 +44,11 @@ type Config struct {
 	// VerticesPerMachine overrides the derived ceil(N^Phi) when positive;
 	// tests use it to force specific cluster shapes.
 	VerticesPerMachine int
+	// Parallelism is passed through to the MPC cluster's execution engine
+	// (see mpc.Config.Parallelism): 0 or 1 simulates rounds sequentially,
+	// k > 1 fans each round out over k worker goroutines, negative uses
+	// runtime.NumCPU(). Results and Stats are identical at every setting.
+	Parallelism int
 }
 
 // normalize validates and fills derived fields.

@@ -48,7 +48,11 @@ func (w *workspace) Words() int { return len(w.sketches) * w.perSk }
 // second endpoint of every sketched replacement edge, which this
 // implementation performs with one O(1)-round distributed lookup per
 // Borůvka level, adding O(log k) rounds to a deletion batch of k tree
-// edges. See DESIGN.md for the discussion.
+// edges. See README.md ("Deviations") for the discussion.
+//
+// All per-machine callbacks below obey the mpc.StepFunc concurrency
+// contract (machine-local mutation only; broadcast payloads are read-only),
+// so the algorithm runs unchanged at any Config.Parallelism.
 type DynamicConnectivity struct {
 	f     *Forest
 	space *sketch.Space

@@ -99,6 +99,7 @@ func newForest(cfg Config, weighted bool, sketchWords int) (*Forest, error) {
 		Machines:    m,
 		LocalMemory: vpm * bundle,
 		Strict:      cfg.Strict,
+		Parallelism: cfg.Parallelism,
 	})
 	f := &Forest{
 		cfg:      cfg,
@@ -929,15 +930,21 @@ func (f *Forest) SnapshotComponents() []int {
 }
 
 // SnapshotForest reads out the maintained forest edges (driver-level
-// readout of the collectively stored solution).
+// readout of the collectively stored solution). Each machine drains its
+// shard into its own bucket — appending to one shared slice would race
+// under a parallel executor — and the buckets are concatenated afterwards.
 func (f *Forest) SnapshotForest() []graph.WeightedEdge {
-	var out []graph.WeightedEdge
+	buckets := make([][]graph.WeightedEdge, f.cl.Machines())
 	f.cl.LocalAll(func(mm *mpc.Machine) {
 		es := eShard(mm)
 		for e, te := range es.recs {
-			out = append(out, graph.WeightedEdge{Edge: e, Weight: te.weight})
+			buckets[mm.ID] = append(buckets[mm.ID], graph.WeightedEdge{Edge: e, Weight: te.weight})
 		}
 	})
+	var out []graph.WeightedEdge
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
 			return out[i].U < out[j].U

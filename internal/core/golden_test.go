@@ -1,21 +1,55 @@
 package core
 
 import (
+	"flag"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/oracle"
 	"repro/internal/streamio"
+	"repro/internal/workload"
 )
 
-// TestGoldenChurnTrace replays a checked-in churn trace (generated once
-// from workload seed 424242) through the connectivity algorithm and checks
-// the final solution and the resource envelope. It guards against silent
-// behavioral drift anywhere in the pipeline: streamio parsing, batch
-// splitting, and the full insert/delete machinery.
+var updateGolden = flag.Bool("update", false, "regenerate golden files under testdata/")
+
+const goldenTrace = "testdata/churn32.stream"
+
+// regenerateGoldenTrace rewrites the checked-in trace from the fixed-seed
+// churn generator. The generator is deterministic, so the file only changes
+// when the workload package's sampling does.
+func regenerateGoldenTrace(t *testing.T) {
+	t.Helper()
+	gen := workload.NewChurn(workload.Config{N: 32, Seed: 424242, InsertBias: 0.6})
+	batches := make([]graph.Batch, 0, 24)
+	for i := 0; i < 24; i++ {
+		batches = append(batches, gen.Next(8))
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenTrace), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := streamio.Write(f, batches); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenChurnTrace replays a checked-in churn trace (generated from
+// workload seed 424242; regenerate with `go test -run Golden -update`)
+// through the connectivity algorithm and checks the final solution and the
+// resource envelope. It guards against silent behavioral drift anywhere in
+// the pipeline: streamio parsing, batch splitting, and the full
+// insert/delete machinery.
 func TestGoldenChurnTrace(t *testing.T) {
-	f, err := os.Open("testdata/churn32.stream")
+	if *updateGolden {
+		regenerateGoldenTrace(t)
+	}
+	f, err := os.Open(goldenTrace)
 	if err != nil {
 		t.Fatal(err)
 	}

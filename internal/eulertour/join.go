@@ -60,6 +60,12 @@ type attachment struct {
 //	more := query2(p.CutQueries())       // distributed min-above-cut lookup
 //	p.SetMinAbove(more)
 //	res, _ := p.Plan(nextTour)
+//
+// The planner is coordinator-local state: it runs on the driver goroutine
+// between collective operations and is never captured by per-machine
+// callbacks, so it needs no synchronization under a parallel execution
+// engine (mpc.Config.Parallelism). Its outputs travel to the machines only
+// through broadcasts.
 type JoinPlanner struct {
 	comps   map[int]CompInfo
 	edges   []graph.Edge

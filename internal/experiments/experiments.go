@@ -1,14 +1,17 @@
-// Package experiments implements the measurement harness behind
-// EXPERIMENTS.md: one function per experiment E1–E12, each exercising the
-// corresponding theorem's algorithm on a seeded oblivious workload and
-// returning the table rows the experiment reports. The root bench_test.go
-// and cmd/experiments both drive these functions.
+// Package experiments implements the measurement harness: one function per
+// experiment E1–E13, each exercising the corresponding theorem's algorithm
+// (or, for E13, the simulator substrate itself) on a seeded oblivious
+// workload and returning the table rows the experiment reports. The root
+// bench_test.go and cmd/experiments both drive these functions; see
+// README.md "Experiments" for the table catalogue.
 package experiments
 
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/agm"
 	"repro/internal/bipartite"
@@ -16,10 +19,23 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hash"
 	"repro/internal/matching"
+	"repro/internal/mpc"
 	"repro/internal/msf"
 	"repro/internal/oracle"
 	"repro/internal/workload"
 )
+
+// Parallelism is the execution-engine parallelism every experiment's MPC
+// instances run with (see mpc.Config.Parallelism; 0 = sequential loop).
+// cmd/experiments sets it from -parallelism. The engine guarantees each
+// table is identical at every setting; only wall-clock time changes.
+var Parallelism int
+
+// cfg builds the standard core configuration of the experiments, carrying
+// the package parallelism.
+func cfg(n int, phi float64, seed uint64) core.Config {
+	return core.Config{N: n, Phi: phi, Seed: seed, Parallelism: Parallelism}
+}
 
 // Table is a printable experiment result.
 type Table struct {
@@ -82,7 +98,7 @@ func E1ConnectivityRounds(sizes []int, phis []float64, batches int, seed uint64)
 	}
 	for _, n := range sizes {
 		for _, phi := range phis {
-			dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed})
+			dc, err := core.NewDynamicConnectivity(cfg(n, phi, seed))
 			if err != nil {
 				panic(err)
 			}
@@ -121,7 +137,7 @@ func E2ConnectivityMemory(n int, phi float64, checkpoints []int, seed uint64) *T
 		Title:  "E2: connectivity total memory vs stream density (Theorem 1.1)",
 		Header: []string{"n", "m", "peak total words", "words / (n log^3 n)"},
 	}
-	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed})
+	dc, err := core.NewDynamicConnectivity(cfg(n, phi, seed))
 	if err != nil {
 		panic(err)
 	}
@@ -153,11 +169,11 @@ func E3QueryVsAGM(sizes []int, seed uint64) *Table {
 	}
 	for _, n := range sizes {
 		phi := 0.6
-		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed})
+		dc, err := core.NewDynamicConnectivity(cfg(n, phi, seed))
 		if err != nil {
 			panic(err)
 		}
-		base, err := agm.New(agm.Config{N: n, Phi: phi, Seed: seed})
+		base, err := agm.New(agm.Config{N: n, Phi: phi, Seed: seed, Parallelism: Parallelism})
 		if err != nil {
 			panic(err)
 		}
@@ -195,7 +211,7 @@ func E4ExactMSF(sizes []int, batches int, seed uint64) *Table {
 		Header: []string{"n", "rounds/batch", "exchange waves", "weight == kruskal"},
 	}
 	for _, n := range sizes {
-		m, err := msf.NewExactMSF(core.Config{N: n, Phi: 0.6, Seed: seed})
+		m, err := msf.NewExactMSF(cfg(n, 0.6, seed))
 		if err != nil {
 			panic(err)
 		}
@@ -230,7 +246,7 @@ func E5ApproxMSF(n int, epss []float64, batches int, seed uint64) *Table {
 		Header: []string{"eps", "levels", "est/true weight", "forest/true weight", "within (1+eps)"},
 	}
 	for _, eps := range epss {
-		a, err := msf.NewApproxMSF(core.Config{N: n, Phi: 0.6, Seed: seed}, eps, 64)
+		a, err := msf.NewApproxMSF(cfg(n, 0.6, seed), eps, 64)
 		if err != nil {
 			panic(err)
 		}
@@ -260,7 +276,7 @@ func E6Bipartiteness(n, batches int, seed uint64) *Table {
 		Title:  "E6: bipartiteness, dynamic (Theorem 7.3)",
 		Header: []string{"step", "is bipartite", "oracle", "rounds/batch"},
 	}
-	bt, err := bipartite.New(core.Config{N: n, Phi: 0.6, Seed: seed})
+	bt, err := bipartite.New(cfg(n, 0.6, seed))
 	if err != nil {
 		panic(err)
 	}
@@ -372,7 +388,7 @@ func E9BatchScaling(n int, fractions []float64, batchesPer int, seed uint64) *Ta
 		Header: []string{"n", "batch", "batch/max", "rounds/batch", "rounds/update"},
 	}
 	for _, frac := range fractions {
-		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: seed})
+		dc, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
 		if err != nil {
 			panic(err)
 		}
@@ -402,11 +418,16 @@ func E10EulerTourAblation(n int, ks []int, seed uint64) *Table {
 		Header: []string{"k", "batched rounds", "sequential rounds", "speedup"},
 	}
 	for _, k := range ks {
-		batched, err := core.NewForest(core.Config{N: n, Phi: 0.8, Seed: seed})
+		batched, err := core.NewForest(cfg(n, 0.8, seed))
 		if err != nil {
 			panic(err)
 		}
-		sequential, err := core.NewForest(core.Config{N: n, Phi: 0.8, Seed: seed})
+		if k > batched.Config().MaxBatch() {
+			// The batch would exceed the Õ(n^φ) cap at this n (possible in
+			// reduced -quick runs); skip rather than crash.
+			continue
+		}
+		sequential, err := core.NewForest(cfg(n, 0.8, seed))
 		if err != nil {
 			panic(err)
 		}
@@ -479,7 +500,7 @@ func E11SketchCopiesAblation(n int, copies []int, batches int, seeds []uint64) *
 
 // e11OneRun reports whether one seeded run diverged from the oracle.
 func e11OneRun(n, sketchCopies, batches int, seed uint64) bool {
-	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.7, Seed: seed, SketchCopies: sketchCopies})
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.7, Seed: seed, SketchCopies: sketchCopies, Parallelism: Parallelism})
 	if err != nil {
 		panic(err)
 	}
@@ -544,7 +565,7 @@ func E12CommunicationPerRound(sizes []int, batches int, seed uint64) *Table {
 		Header: []string{"n", "m (final)", "rounds", "total words", "words/round", "words/round / n"},
 	}
 	for _, n := range sizes {
-		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: seed})
+		dc, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
 		if err != nil {
 			panic(err)
 		}
@@ -562,3 +583,50 @@ func E12CommunicationPerRound(sizes []int, batches int, seed uint64) *Table {
 	t.Remarks = append(t.Remarks, "claim: words/round = Õ(n) (the last column stays bounded as n grows)")
 	return t
 }
+
+// E13ParallelSpeedup measures the wall-clock effect of the pluggable
+// execution engine: the same seeded churn workload is replayed through
+// dynamic connectivity once per parallelism level, timing the run and
+// checking the engine's core guarantee that Stats (rounds, messages, words,
+// peaks, violations) are bit-identical to the sequential executor. This is
+// the one experiment whose numbers are wall-clock, not MPC metrics: it
+// characterizes the simulator substrate, not the algorithm.
+func E13ParallelSpeedup(n int, parallelisms []int, batches int, seed uint64) *Table {
+	t := &Table{
+		Title:  "E13: execution engine, worker-pool vs sequential wall-clock",
+		Header: []string{"n", "parallelism", "wall ms", "speedup", "rounds", "stats identical"},
+	}
+	run := func(p int) (mpc.Stats, time.Duration) {
+		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: seed, Parallelism: p})
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, InsertBias: 0.6})
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			must(dc.ApplyBatch(gen.Next(dc.MaxBatch())))
+		}
+		wall := time.Since(start)
+		checkAgainstOracle(dc, gen.Mirror())
+		return dc.Cluster().Stats(), wall
+	}
+	run(1) // untimed warmup so the baseline doesn't pay allocator/cache cold-start
+	baseStats, baseWall := run(1)
+	for _, p := range parallelisms {
+		st, wall := run(p)
+		t.Rows = append(t.Rows, []string{
+			d(n), d(resolvedParallelism(p)), f2(float64(wall.Microseconds()) / 1000),
+			f2(float64(baseWall) / float64(wall)),
+			d(st.Rounds),
+			fmt.Sprintf("%v", reflect.DeepEqual(st, baseStats)),
+		})
+	}
+	t.Remarks = append(t.Remarks,
+		"claim: identical Stats at every parallelism; speedup grows with machine count and local work",
+		"wall-clock of the simulator substrate (not an MPC metric); small n may not amortize the round barrier")
+	return t
+}
+
+// resolvedParallelism normalizes a Config.Parallelism value to the worker
+// count it selects, so the table shows resolved numbers.
+func resolvedParallelism(p int) int { return mpc.ResolveParallelism(p) }

@@ -120,3 +120,15 @@ func TestE12Small(t *testing.T) {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 }
+
+func TestE13Small(t *testing.T) {
+	tb := E13ParallelSpeedup(48, []int{1, 4}, 4, 13)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[5] != "true" {
+			t.Errorf("stats not identical across engines: %v", r)
+		}
+	}
+}

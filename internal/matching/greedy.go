@@ -191,9 +191,11 @@ func (g *GreedyInsertOnly) queryStatus() map[int]int {
 // Size returns the current matching size (coordinator-local).
 func (g *GreedyInsertOnly) Size() int { return g.size }
 
-// Matching reads out the matching (driver-level readout).
+// Matching reads out the matching (driver-level readout). Per-machine
+// buckets keep the readout within the mpc.StepFunc concurrency contract
+// (a shared append would race under a parallel executor).
 func (g *GreedyInsertOnly) Matching() []graph.Edge {
-	var out []graph.Edge
+	buckets := make([][]graph.Edge, g.cl.Machines())
 	g.cl.LocalAll(func(mm *mpc.Machine) {
 		sh, ok := mm.Get(slotShard).(*greedyShard)
 		if !ok {
@@ -202,10 +204,14 @@ func (g *GreedyInsertOnly) Matching() []graph.Edge {
 		for i, p := range sh.match {
 			v := sh.lo + i
 			if p > v {
-				out = append(out, graph.Edge{U: v, V: p})
+				buckets[mm.ID] = append(buckets[mm.ID], graph.Edge{U: v, V: p})
 			}
 		}
 	})
+	var out []graph.Edge
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
 			return out[i].U < out[j].U

@@ -1,0 +1,196 @@
+package mpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Executor schedules the per-machine work of one synchronous round (or one
+// local-computation pass). The cluster hands it an index-addressed job; the
+// executor decides how to spread the indices over OS threads.
+//
+// The contract that makes any executor interchangeable with the sequential
+// one is the simulator's concurrency contract (see StepFunc): the callback
+// for machine i touches only machine i's state and the caller-provided
+// result slot for index i. Under that contract every executor produces the
+// same per-index results, and the cluster folds them into Stats in machine
+// order, so rounds, message ordering, violations, and peaks are bit-identical
+// at any parallelism level.
+type Executor interface {
+	// Run invokes fn(i) once for every i in [0, n), possibly concurrently.
+	// It returns only after every invocation has completed. If any
+	// invocation panics, Run re-panics on the calling goroutine with the
+	// panic value of the lowest panicking index.
+	Run(n int, fn func(i int))
+	// Parallelism reports the number of worker goroutines (1 = sequential).
+	Parallelism() int
+}
+
+// ResolveParallelism returns the worker count a Config.Parallelism value
+// selects: 1 for 0 or 1 (sequential), p for p > 1, and runtime.NumCPU()
+// for any negative value.
+func ResolveParallelism(p int) int {
+	switch {
+	case p < 0:
+		return runtime.NumCPU()
+	case p <= 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// NewExecutor returns the executor selected by a Config.Parallelism value:
+// the sequential executor when ResolveParallelism yields 1, otherwise a
+// worker pool of that many goroutines.
+func NewExecutor(parallelism int) Executor {
+	if w := ResolveParallelism(parallelism); w > 1 {
+		return NewWorkerPool(w)
+	}
+	return NewSequentialExecutor()
+}
+
+// sequentialExecutor runs every machine on the calling goroutine in index
+// order — the original simulator loop.
+type sequentialExecutor struct{}
+
+// NewSequentialExecutor returns the executor that runs machines one after
+// another on the calling goroutine.
+func NewSequentialExecutor() Executor { return sequentialExecutor{} }
+
+// Run implements Executor.
+func (sequentialExecutor) Run(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Parallelism implements Executor.
+func (sequentialExecutor) Parallelism() int { return 1 }
+
+// poolTask is one contiguous shard of machine indices handed to a pool
+// worker.
+type poolTask struct {
+	lo, hi int
+	fn     func(i int)
+	done   *poolBarrier
+}
+
+// poolBarrier is the per-Run rendezvous: workers report completion (and any
+// recovered panic) here; the submitting goroutine waits on it.
+type poolBarrier struct {
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	panicked bool
+	panicIdx int
+	panicVal any
+}
+
+// recordPanic keeps the panic of the lowest machine index so re-panicking is
+// deterministic regardless of worker interleaving.
+func (b *poolBarrier) recordPanic(idx int, val any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.panicked || idx < b.panicIdx {
+		b.panicked = true
+		b.panicIdx = idx
+		b.panicVal = val
+	}
+}
+
+// WorkerPool is the parallel executor: a fixed set of long-lived worker
+// goroutines that each claim one contiguous shard of the machine range per
+// round. Contiguous shards keep a worker on one run of machines (and their
+// result slots), so routing buffers stay core-local until the round barrier.
+//
+// The pool's goroutines live as long as the pool is reachable; a runtime
+// cleanup shuts them down when the owning cluster is garbage collected, so
+// creating many clusters (as tests and experiments do) does not leak.
+type WorkerPool struct {
+	workers int
+	tasks   chan poolTask
+}
+
+// NewWorkerPool returns a worker-pool executor with the given number of
+// workers; workers <= 0 selects runtime.NumCPU(). A pool of one worker is
+// degenerate, so it returns the sequential executor instead.
+func NewWorkerPool(workers int) Executor {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return sequentialExecutor{}
+	}
+	p := &WorkerPool{
+		workers: workers,
+		// Buffered so Run never blocks handing out shards: at most
+		// `workers` tasks are in flight per round.
+		tasks: make(chan poolTask, workers),
+	}
+	for w := 0; w < workers; w++ {
+		// Workers capture only the channel, never p, so an unreachable
+		// pool is collectable; the cleanup then closes the channel and
+		// the workers exit.
+		go poolWorker(p.tasks)
+	}
+	runtime.AddCleanup(p, func(ch chan poolTask) { close(ch) }, p.tasks)
+	return p
+}
+
+// poolWorker drains shards until the pool is shut down.
+func poolWorker(tasks chan poolTask) {
+	for t := range tasks {
+		runShard(t)
+	}
+}
+
+// runShard executes one contiguous shard, converting a panic in fn into a
+// recorded panic on the barrier (a panicking shard abandons its remaining
+// indices, as the sequential loop would).
+func runShard(t poolTask) {
+	i := t.lo
+	defer func() {
+		if r := recover(); r != nil {
+			t.done.recordPanic(i, r)
+		}
+		t.done.wg.Done()
+	}()
+	for ; i < t.hi; i++ {
+		t.fn(i)
+	}
+}
+
+// Run implements Executor: it splits [0, n) into at most `workers`
+// contiguous shards, dispatches them to the pool, and waits for the round
+// barrier.
+func (p *WorkerPool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	shards := p.workers
+	if shards > n {
+		shards = n
+	}
+	per := (n + shards - 1) / shards
+	done := &poolBarrier{}
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		done.wg.Add(1)
+		p.tasks <- poolTask{lo: lo, hi: hi, fn: fn, done: done}
+	}
+	done.wg.Wait()
+	if done.panicked {
+		panic(done.panicVal)
+	}
+}
+
+// Parallelism implements Executor.
+func (p *WorkerPool) Parallelism() int { return p.workers }
+
+// String aids debugging output in benchmarks and experiments.
+func (p *WorkerPool) String() string { return fmt.Sprintf("worker-pool(%d)", p.workers) }

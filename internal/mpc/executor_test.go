@@ -1,0 +1,197 @@
+package mpc
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+func TestNewExecutorSelection(t *testing.T) {
+	if p := NewExecutor(0).Parallelism(); p != 1 {
+		t.Errorf("NewExecutor(0).Parallelism() = %d, want 1", p)
+	}
+	if p := NewExecutor(1).Parallelism(); p != 1 {
+		t.Errorf("NewExecutor(1).Parallelism() = %d, want 1", p)
+	}
+	if p := NewExecutor(4).Parallelism(); p != 4 {
+		t.Errorf("NewExecutor(4).Parallelism() = %d, want 4", p)
+	}
+	if p := NewExecutor(-1).Parallelism(); p != runtime.NumCPU() && runtime.NumCPU() > 1 {
+		t.Errorf("NewExecutor(-1).Parallelism() = %d, want NumCPU %d", p, runtime.NumCPU())
+	}
+	// A pool of one worker degenerates to the sequential executor.
+	if _, seq := NewWorkerPool(1).(sequentialExecutor); !seq {
+		t.Error("NewWorkerPool(1) is not the sequential executor")
+	}
+}
+
+func TestExecutorRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		ex := NewWorkerPool(workers)
+		for _, n := range []int{0, 1, 2, 5, 16, 33, 100} {
+			counts := make([]int, n)
+			ex.Run(n, func(i int) { counts[i]++ })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerPoolPanicPropagation(t *testing.T) {
+	ex := NewWorkerPool(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not re-panic")
+		}
+		// Indices 3 and 7 both panic in different shards; the re-panic must
+		// deterministically carry the lowest index's value.
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	ex.Run(8, func(i int) {
+		if i == 3 || i == 7 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+	})
+}
+
+func TestStrictViolationPanicsUnderParallel(t *testing.T) {
+	c := NewCluster(Config{Machines: 8, LocalMemory: 1, Strict: true, Parallelism: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strict parallel cluster did not panic on violation")
+		}
+	}()
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		if m.ID != 0 {
+			return nil
+		}
+		return []Message{{To: 1, Payload: U64s{1, 2, 3}}}
+	})
+}
+
+// runEngineProgram drives a deterministic multi-round program that exercises
+// point-to-point sends of varying sizes, deliberate cap violations, invalid
+// destinations, store growth, LocalAll, and the collectives. It returns the
+// final stats and a machine-order digest of all state and delivery orders.
+func runEngineProgram(parallelism int) (Stats, string) {
+	const M = 33
+	c := NewCluster(Config{Machines: M, LocalMemory: 64, Parallelism: parallelism})
+	c.LocalAll(func(m *Machine) {
+		m.Set("shard", U64s(make([]uint64, 1+m.ID%7)))
+	})
+	delivered := make([][]int, M) // per-machine sender sequence, round 2
+	// Round 1: every machine sends to a spread of destinations, including an
+	// invalid one from machine 5 and an oversend from machine 6.
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		var out []Message
+		for k := 1; k <= 3; k++ {
+			out = append(out, Message{To: (m.ID + k*k) % M, Payload: U64s(make([]uint64, k))})
+		}
+		if m.ID == 5 {
+			out = append(out, Message{To: M + 40, Payload: Word(1)})
+		}
+		if m.ID == 6 {
+			out = append(out, Message{To: 7, Payload: U64s(make([]uint64, 100))})
+		}
+		return out
+	})
+	// Round 2: record exact delivery order, grow stores.
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, msg := range inbox {
+			delivered[m.ID] = append(delivered[m.ID], msg.From)
+		}
+		m.Set("grown", U64s(make([]uint64, len(inbox))))
+		return nil
+	})
+	// Collectives on top of the same engine.
+	c.Broadcast(3, "bc", U64s{1, 2, 3})
+	sum := c.Aggregate(0,
+		func(m *Machine) Sized { return Word(uint64(m.ID)) },
+		func(a, b Sized) Sized { return Word(uint64(a.(Word)) + uint64(b.(Word))) },
+	)
+	gathered := c.Gather(1, func(m *Machine) Sized {
+		if m.ID%3 == 0 {
+			return Word(uint64(m.ID * 11))
+		}
+		return nil
+	})
+	srcs := make([]int, 0, len(gathered))
+	for src := range gathered {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	digest := fmt.Sprintf("sum=%d gathered=%v\n", uint64(sum.(Word)), srcs)
+	for i := 0; i < M; i++ {
+		digest += fmt.Sprintf("m%d: state=%d delivered=%v\n", i, c.Machine(i).StateWords(), delivered[i])
+	}
+	return c.Stats(), digest
+}
+
+// TestEngineDeterministicAcrossParallelism is the engine's core guarantee:
+// the same program yields bit-identical Stats (including violation strings
+// in order), identical per-machine delivery order, and identical state at
+// parallelism 1, 4, and NumCPU.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	baseStats, baseDigest := runEngineProgram(1)
+	if len(baseStats.Violations) == 0 {
+		t.Fatal("program was expected to record violations")
+	}
+	for _, p := range []int{4, -1} {
+		st, digest := runEngineProgram(p)
+		if !reflect.DeepEqual(st, baseStats) {
+			t.Errorf("parallelism %d: stats diverged\nseq: %+v\npar: %+v", p, baseStats, st)
+		}
+		if digest != baseDigest {
+			t.Errorf("parallelism %d: state/delivery digest diverged\nseq:\n%s\npar:\n%s", p, baseDigest, digest)
+		}
+	}
+}
+
+func TestSortByKeyDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) (Stats, string) {
+		const M = 9
+		c := NewCluster(Config{Machines: M, LocalMemory: 256, Parallelism: parallelism})
+		c.LocalAll(func(m *Machine) {
+			keys := make(U64s, 0, 20)
+			for k := 0; k < 20; k++ {
+				keys = append(keys, uint64((m.ID*7919+k*104729)%1000))
+			}
+			m.Set("keys", keys)
+		})
+		var got string
+		c.SortByKey(
+			func(m *Machine) []uint64 { return m.Get("keys").(U64s) },
+			func(m *Machine, keys []uint64) { m.Set("keys", U64s(keys)) },
+			1,
+		)
+		for i := 0; i < M; i++ {
+			got += fmt.Sprintf("%v\n", c.Machine(i).Get("keys"))
+		}
+		return c.Stats(), got
+	}
+	seqStats, seqOut := run(1)
+	parStats, parOut := run(4)
+	if !reflect.DeepEqual(seqStats, parStats) {
+		t.Errorf("stats diverged\nseq: %+v\npar: %+v", seqStats, parStats)
+	}
+	if seqOut != parOut {
+		t.Errorf("sorted output diverged\nseq:\n%s\npar:\n%s", seqOut, parOut)
+	}
+}
+
+func TestParallelismAccessor(t *testing.T) {
+	if p := NewCluster(Config{Machines: 2, LocalMemory: 8}).Parallelism(); p != 1 {
+		t.Errorf("default cluster parallelism = %d, want 1", p)
+	}
+	if p := NewCluster(Config{Machines: 2, LocalMemory: 8, Parallelism: 3}).Parallelism(); p != 3 {
+		t.Errorf("parallel cluster parallelism = %d, want 3", p)
+	}
+}

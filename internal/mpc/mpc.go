@@ -16,6 +16,12 @@
 // Memory is accounted in machine words: one vertex id, one tour index, or one
 // sketch cell each count as one word, matching the convention of the paper's
 // model (Section 1.2).
+//
+// Execution is pluggable: an Executor fans the per-machine work of each
+// round out over OS threads (Config.Parallelism selects the sequential loop
+// or a worker pool), while message routing and metering are folded back in
+// machine order at the round barrier, so every metric the simulator reports
+// is bit-identical at any parallelism level.
 package mpc
 
 import (
@@ -75,6 +81,15 @@ type Config struct {
 	// Strict makes cap violations panic immediately instead of being
 	// recorded in Stats.Violations. Tests use Strict to fail fast.
 	Strict bool
+	// Parallelism selects the execution engine that fans the per-machine
+	// work of every round out over OS threads: 0 or 1 runs machines
+	// sequentially on the calling goroutine, k > 1 uses a worker pool of k
+	// goroutines, and a negative value uses runtime.NumCPU() workers.
+	//
+	// Rounds, message ordering, Stats, and violation reporting are
+	// bit-identical at every setting; parallelism changes wall-clock time
+	// only. See StepFunc for the concurrency contract callbacks must obey.
+	Parallelism int
 }
 
 // Stats aggregates the execution metrics the experiments report.
@@ -132,6 +147,7 @@ func (m *Machine) Delete(key string) { delete(m.Store, key) }
 // Cluster is a simulated MPC system.
 type Cluster struct {
 	cfg      Config
+	exec     Executor
 	machines []*Machine
 	inboxes  [][]Message
 	stats    Stats
@@ -147,6 +163,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	c := &Cluster{
 		cfg:      cfg,
+		exec:     NewExecutor(cfg.Parallelism),
 		machines: make([]*Machine, cfg.Machines),
 		inboxes:  make([][]Message, cfg.Machines),
 	}
@@ -164,6 +181,10 @@ func (c *Cluster) Machines() int { return c.cfg.Machines }
 
 // LocalMemory returns the per-machine memory budget s in words.
 func (c *Cluster) LocalMemory() int { return c.cfg.LocalMemory }
+
+// Parallelism returns the number of worker goroutines of the cluster's
+// execution engine (1 for the sequential executor).
+func (c *Cluster) Parallelism() int { return c.exec.Parallelism() }
 
 // Machine returns machine i. It is exported for tests and for loading input
 // shards before an execution begins; algorithms must not use it to bypass
@@ -189,18 +210,43 @@ func (c *Cluster) violate(format string, args ...any) {
 // StepFunc is the per-machine computation of one round. It receives the
 // machine and the messages delivered this round and returns the messages to
 // send; returned messages are delivered at the start of the next round.
+//
+// Concurrency contract: the cluster may invoke the callback for different
+// machines concurrently (Config.Parallelism), so the callback must touch
+// only the state of the machine it was invoked for — its Store, its inbox,
+// and (for coordinator-side collectives) slots of caller-owned slices or
+// maps indexed by that machine's id or rank. Values received in messages or
+// installed by Broadcast are shared, not copied, and must be treated as
+// read-only. The same contract applies to LocalAt/LocalAll callbacks and to
+// the callbacks of every collective built on Step.
 type StepFunc func(m *Machine, inbox []Message) []Message
 
 // Step executes one synchronous round on all machines.
+//
+// The round has two phases. The parallel phase fans fn out across machines
+// through the executor; each invocation writes its outgoing messages and its
+// post-round store size into per-machine slots (the slots form contiguous
+// per-worker buffers under the worker-pool executor). The merge phase then
+// folds the slots into cluster state in ascending sender id on the calling
+// goroutine: it routes messages, enforces the communication caps, and
+// samples memory. Because the merge order is machine order regardless of how
+// the parallel phase was scheduled, inbox ordering, Stats, and violation
+// reporting are bit-identical at every parallelism level.
 func (c *Cluster) Step(fn StepFunc) {
-	next := make([][]Message, c.cfg.Machines)
-	recvWords := make([]int, c.cfg.Machines)
-	for i, m := range c.machines {
-		inbox := c.inboxes[i]
-		out := fn(m, inbox)
+	M := c.cfg.Machines
+	outs := make([][]Message, M)
+	stateWords := make([]int, M)
+	c.exec.Run(M, func(i int) {
+		outs[i] = fn(c.machines[i], c.inboxes[i])
+		stateWords[i] = c.machines[i].StateWords()
+	})
+	// Deterministic merge by sender id.
+	next := make([][]Message, M)
+	recvWords := make([]int, M)
+	for i, out := range outs {
 		sendWords := 0
 		for _, msg := range out {
-			if msg.To < 0 || msg.To >= c.cfg.Machines {
+			if msg.To < 0 || msg.To >= M {
 				c.violate("machine %d sent to invalid machine %d", i, msg.To)
 				continue
 			}
@@ -232,20 +278,31 @@ func (c *Cluster) Step(fn StepFunc) {
 	}
 	c.inboxes = next
 	c.stats.Rounds++
-	c.meterMemory()
+	c.reduceMemory(stateWords)
 }
 
-// meterMemory samples per-machine and total memory at the round boundary.
+// meterMemory samples per-machine and total memory at the round boundary:
+// the store walks run through the executor, the reduction into Stats runs in
+// machine order on the calling goroutine.
 func (c *Cluster) meterMemory() {
+	stateWords := make([]int, c.cfg.Machines)
+	c.exec.Run(c.cfg.Machines, func(i int) {
+		stateWords[i] = c.machines[i].StateWords()
+	})
+	c.reduceMemory(stateWords)
+}
+
+// reduceMemory folds pre-computed per-machine store sizes into the memory
+// peaks and cap violations, in machine order.
+func (c *Cluster) reduceMemory(stateWords []int) {
 	total := 0
-	for _, m := range c.machines {
-		w := m.StateWords()
+	for i, w := range stateWords {
 		total += w
 		if w > c.stats.PeakMachineWords {
 			c.stats.PeakMachineWords = w
 		}
 		if w > c.cfg.LocalMemory {
-			c.violate("machine %d stores %d words (cap %d)", m.ID, w, c.cfg.LocalMemory)
+			c.violate("machine %d stores %d words (cap %d)", i, w, c.cfg.LocalMemory)
 		}
 	}
 	if total > c.stats.PeakTotalWords {
@@ -261,12 +318,16 @@ func (c *Cluster) LocalAt(id int, fn func(m *Machine)) {
 	c.meterMemory()
 }
 
-// LocalAll runs fn on every machine without advancing the round.
+// LocalAll runs fn on every machine without advancing the round. The
+// callbacks run through the executor and must obey the StepFunc concurrency
+// contract.
 func (c *Cluster) LocalAll(fn func(m *Machine)) {
-	for _, m := range c.machines {
-		fn(m)
-	}
-	c.meterMemory()
+	stateWords := make([]int, c.cfg.Machines)
+	c.exec.Run(c.cfg.Machines, func(i int) {
+		fn(c.machines[i])
+		stateWords[i] = c.machines[i].StateWords()
+	})
+	c.reduceMemory(stateWords)
 }
 
 // fanout returns the broadcast/aggregation tree fanout for payloads of w

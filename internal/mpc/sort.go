@@ -14,6 +14,9 @@ import "sort"
 //
 // items are provided and received through the callbacks so the caller
 // controls representation; itemWords meters the per-item payload size.
+// The coordinator-side buffers (local, received, splitters) are indexed by
+// machine id or touched only by machine 0, satisfying the StepFunc
+// concurrency contract under parallel executors.
 // The caller must ensure the per-destination volume fits the cap (true for
 // balanced inputs, which is what the sampling guarantees w.h.p.; the
 // simulator meters violations otherwise).

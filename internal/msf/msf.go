@@ -28,7 +28,7 @@ type ExactMSF struct {
 	// swapWaves counts Identify-Path exchange iterations, reported by the
 	// experiments (the paper's single-wave description is iterated to a
 	// fixpoint to stay exact on batches with interacting exchanges; see
-	// DESIGN.md).
+	// README.md "Deviations").
 	swapWaves int
 }
 

@@ -348,16 +348,19 @@ func (p proposalsPayload) Words() int { return 3 * len(p.ps) }
 
 // rematchRound runs one protocol round and returns, per pending vertex,
 // whether it observed a free neighbor (and hence should retry if unmatched).
-func (m *Matcher) rematchRound(pending []int) map[int]bool {
+func (m *Matcher) rematchRound(pending []int) []bool {
 	pendSet := map[int]bool{}
 	for _, v := range pending {
 		pendSet[v] = true
 	}
 	m.cl.Broadcast(m.coord, slotBcast, mpc.Ints(pending))
 	// abstain[v] is set when pending target v accepts a smaller proposer
-	// and must therefore not confirm its own proposals this round.
-	abstain := map[int]bool{}
-	sawFree := map[int]bool{}
+	// and must therefore not confirm its own proposals this round. Both
+	// marker sets are vertex-indexed slices, not maps: each slot is written
+	// only by the machine owning that vertex, which keeps the closures
+	// below inside the mpc.StepFunc concurrency contract.
+	abstain := make([]bool, m.n)
+	sawFree := make([]bool, m.n)
 	// Step A: owners of pending vertices propose to every neighbor.
 	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
 		sh := getShard(mm)
@@ -474,8 +477,10 @@ func (m *Matcher) rematchRound(pending []int) map[int]bool {
 }
 
 // Matching reads out the current matching (driver-level readout).
+// Per-machine buckets keep the readout within the mpc.StepFunc concurrency
+// contract (a shared append would race under a parallel executor).
 func (m *Matcher) Matching() []graph.Edge {
-	var out []graph.Edge
+	buckets := make([][]graph.Edge, m.cl.Machines())
 	m.cl.LocalAll(func(mm *mpc.Machine) {
 		sh := getShard(mm)
 		if sh == nil {
@@ -484,10 +489,14 @@ func (m *Matcher) Matching() []graph.Edge {
 		for i, p := range sh.match {
 			v := sh.lo + i
 			if p > v {
-				out = append(out, graph.Edge{U: v, V: p})
+				buckets[mm.ID] = append(buckets[mm.ID], graph.Edge{U: v, V: p})
 			}
 		}
 	})
+	var out []graph.Edge
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
 			return out[i].U < out[j].U
