@@ -119,6 +119,13 @@ func BenchmarkE12CommunicationPerRound(b *testing.B) {
 	}
 }
 
+func BenchmarkE14ScenarioSweep(b *testing.B) {
+	printOnce(b, experiments.E14ScenarioSweep(48, 6, nil, 14))
+	for i := 0; i < b.N; i++ {
+		experiments.E14ScenarioSweep(48, 3, []string{"powerlaw", "window"}, uint64(i))
+	}
+}
+
 // BenchmarkBatchApplyThroughput times raw update throughput of the core
 // algorithm (wall-clock of the simulator, not an MPC metric; useful for
 // tracking implementation regressions).

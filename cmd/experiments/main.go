@@ -1,15 +1,16 @@
-// Command experiments regenerates every experiment table (E1–E13; see
+// Command experiments regenerates every experiment table (E1–E14; see
 // README.md "Experiments").
 //
 // Usage:
 //
-//	experiments [-quick] [-only E1,E3] [-parallelism N]
+//	experiments [-quick] [-only E1,E3] [-parallelism N] [-scenario powerlaw,window]
 //
 // -quick shrinks the instance sizes for a fast smoke run; -only restricts
 // to a comma-separated list of experiment ids; -parallelism sets the
 // execution-engine worker count for every experiment (0 or 1 sequential,
 // negative = NumCPU). Tables are identical at every parallelism; only
-// wall-clock changes.
+// wall-clock changes. -scenario restricts the E14 differential sweep to a
+// comma-separated subset of the workload scenario registry (default: all).
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -27,8 +29,22 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU)")
+	scenario := flag.String("scenario", "",
+		fmt.Sprintf("comma-separated scenarios for the E14 sweep (default all; have %v)", workload.Names()))
 	flag.Parse()
 	experiments.Parallelism = *parallelism
+
+	var scenarios []string
+	if *scenario != "" {
+		for _, s := range strings.Split(*scenario, ",") {
+			name := strings.TrimSpace(s)
+			if _, err := workload.Get(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, name)
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -101,10 +117,13 @@ func main() {
 		}
 		return experiments.E13ParallelSpeedup(n, par, batches, 13)
 	})
+	run("E14", func() *experiments.Table {
+		return experiments.E14ScenarioSweep(msfSizes[0], batches, scenarios, 14)
+	})
 	if len(want) > 0 {
 		for id := range want {
 			switch id {
-			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13":
+			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
 				os.Exit(2)

@@ -9,13 +9,17 @@
 //	mpcstream -algo matching -n 128 -alpha 4
 //	mpcstream -algo connectivity -stream trace.txt
 //	mpcstream -algo connectivity -n 4096 -parallelism 8
+//	mpcstream -algo nowickionak -scenario bursty -n 256
 //
 // Algorithms: connectivity, msf (exact, insertion-only), approxmsf,
-// bipartite, matching (insertion-only greedy), dynmatching (AKLY).
-// With -stream, updates are replayed from a file in the streamio text
-// format instead of being generated. -parallelism selects the simulator's
-// execution engine (worker-pool rounds); results and reported statistics
-// are identical at every setting.
+// bipartite, matching (insertion-only greedy), dynmatching (AKLY),
+// nowickionak (with -scenario). With -stream, updates are replayed from a
+// file in the streamio text format instead of being generated. With
+// -scenario, the named workload-registry stream is run through the
+// differential harness: every batch is cross-checked against the
+// brute-force oracle and the run fails loudly on divergence. -parallelism
+// selects the simulator's execution engine (worker-pool rounds); results
+// and reported statistics are identical at every setting.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/matching"
 	"repro/internal/mpc"
 	"repro/internal/msf"
@@ -46,21 +51,39 @@ func main() {
 	maxWeight := flag.Int64("maxweight", 64, "maximum edge weight")
 	insertBias := flag.Float64("insertbias", 0.6, "probability of keeping an existing edge")
 	streamFile := flag.String("stream", "", "replay updates from a streamio-format file")
+	scenario := flag.String("scenario", "",
+		fmt.Sprintf("run a registered workload scenario under the differential harness (have %v)", workload.Names()))
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU); results are identical at every setting")
 	flag.Parse()
 
-	if *streamFile != "" {
-		if err := runStream(*algo, *streamFile, *phi, *seed, *parallelism); err != nil {
-			fmt.Fprintln(os.Stderr, "mpcstream:", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case *streamFile != "":
+		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism)
+	case *scenario != "":
+		err = runScenario(*algo, *scenario, harness.Options{
+			N: *n, Batches: *batches, Seed: *seed, Phi: *phi, Parallelism: *parallelism,
+			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight,
+		})
+	default:
+		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism)
 	}
-	if err := run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario streams a registered scenario through the named algorithm
+// under the differential harness, oracle-checking every batch.
+func runScenario(algo, scenario string, opt harness.Options) error {
+	rep, err := harness.Run(algo, scenario, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
 }
 
 func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism int) error {
@@ -181,23 +204,24 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int) err
 	if err != nil {
 		return err
 	}
-	mirror := graph.New(n)
+	// Pre-validate so a corrupt trace yields an error, not Replay's panic.
+	probe := graph.New(n)
 	for i, b := range batches {
-		if err := mirror.Apply(b); err != nil {
+		if err := probe.Apply(b); err != nil {
 			return fmt.Errorf("batch %d invalid against the replayed graph: %w", i, err)
 		}
-		for j := 0; j < len(b); j += dc.MaxBatch() {
-			end := j + dc.MaxBatch()
-			if end > len(b) {
-				end = len(b)
-			}
-			if err := dc.ApplyBatch(b[j:end]); err != nil {
-				return err
-			}
+	}
+	rp := workload.NewReplay(n, batches)
+	for !rp.Done() {
+		if err := dc.ApplyBatch(rp.Next(dc.MaxBatch())); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle %d)\n",
-		len(batches), n, dc.NumComponents(), oracle.NumComponents(mirror))
+	if err := harness.VerifyConnectivity(dc, rp.Mirror()); err != nil {
+		return fmt.Errorf("replay diverged from the oracle: %w", err)
+	}
+	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle-verified)\n",
+		len(batches), n, dc.NumComponents())
 	report(dc.Cluster().Stats(), len(batches))
 	return nil
 }

@@ -1,8 +1,11 @@
 // Package repro is a from-scratch Go reproduction of "Streaming Graph
 // Algorithms in the Massively Parallel Computation Model" (Czumaj, Mishra,
 // Mukherjee; PODC 2024). See README.md for the repository layout, the
-// pluggable execution-engine architecture of the MPC simulator, and how to
-// run the experiment tables and benchmarks. The simulator and algorithm
-// packages live under internal/, runnable examples under examples/, and the
-// experiment harness behind bench_test.go and cmd/experiments.
+// pluggable execution-engine architecture of the MPC simulator, the
+// workload scenario registry, and how to run the experiment tables and
+// benchmarks. The simulator and algorithm packages live under internal/,
+// runnable examples under examples/, the experiment harness behind
+// bench_test.go and cmd/experiments, and the differential-testing engine —
+// which cross-checks every algorithm against the brute-force oracles over
+// every registered scenario — in internal/harness.
 package repro

@@ -1,9 +1,9 @@
 // Package experiments implements the measurement harness: one function per
-// experiment E1–E13, each exercising the corresponding theorem's algorithm
-// (or, for E13, the simulator substrate itself) on a seeded oblivious
-// workload and returning the table rows the experiment reports. The root
-// bench_test.go and cmd/experiments both drive these functions; see
-// README.md "Experiments" for the table catalogue.
+// experiment E1–E14, each exercising the corresponding theorem's algorithm
+// (or, for E13/E14, the simulator substrate and the scenario registry) on a
+// seeded oblivious workload and returning the table rows the experiment
+// reports. The root bench_test.go and cmd/experiments both drive these
+// functions; see README.md "Experiments" for the table catalogue.
 package experiments
 
 import (
@@ -17,6 +17,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/hash"
 	"repro/internal/matching"
 	"repro/internal/mpc"
@@ -448,18 +449,12 @@ func E10EulerTourAblation(n int, ks []int, seed uint64) *Table {
 }
 
 // checkAgainstOracle verifies the maintained solution against the
-// sequential reference, panicking on divergence (experiments must not
-// silently report numbers from a broken run).
+// sequential reference via the shared differential checker, panicking on
+// divergence (experiments must not silently report numbers from a broken
+// run).
 func checkAgainstOracle(dc *core.DynamicConnectivity, g *graph.Graph) {
-	want := oracle.Components(g)
-	got := dc.SnapshotComponents()
-	for v := range want {
-		if got[v] != want[v] {
-			panic(fmt.Sprintf("experiments: component of %d diverged (%d vs %d)", v, got[v], want[v]))
-		}
-	}
-	if !oracle.IsSpanningForest(g, dc.SnapshotForest()) {
-		panic("experiments: maintained forest invalid")
+	if err := harness.VerifyConnectivity(dc, g); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
 }
 
@@ -630,3 +625,50 @@ func E13ParallelSpeedup(n int, parallelisms []int, batches int, seed uint64) *Ta
 // resolvedParallelism normalizes a Config.Parallelism value to the worker
 // count it selects, so the table shows resolved numbers.
 func resolvedParallelism(p int) int { return mpc.ResolveParallelism(p) }
+
+// E14ScenarioSweep streams every listed scenario (default: the whole
+// registry) through every compatible algorithm under the differential
+// harness, cross-checking each batch against the brute-force oracles. The
+// table is the systematic scenario-coverage matrix the ad-hoc
+// per-experiment workloads never gave: a row per (scenario, algorithm)
+// pair that survived its checks.
+func E14ScenarioSweep(n, batches int, scenarios []string, seed uint64) *Table {
+	t := &Table{
+		Title:  "E14: scenario sweep, differential harness over the registry",
+		Header: []string{"scenario", "algorithm", "batches", "updates", "edges", "rounds/batch", "checks"},
+	}
+	if len(scenarios) == 0 {
+		scenarios = workload.Names()
+	}
+	for _, scName := range scenarios {
+		sc, err := workload.Get(scName)
+		if err != nil {
+			panic(err)
+		}
+		for _, algoName := range harness.AlgorithmNames() {
+			algo, err := harness.GetAlgorithm(algoName)
+			if err != nil {
+				panic(err)
+			}
+			if harness.Compatible(algo, sc) != nil {
+				continue
+			}
+			rep, err := harness.RunScenario(algo, sc, harness.Options{
+				N: n, Batches: batches, Seed: seed, Parallelism: Parallelism,
+			})
+			must(err) // a divergence is a broken run, not a table row
+			roundsPerBatch := "n/a"
+			if rep.Rounds >= 0 && rep.Batches > 0 {
+				roundsPerBatch = f2(float64(rep.Rounds) / float64(rep.Batches))
+			}
+			t.Rows = append(t.Rows, []string{
+				rep.Scenario, rep.Algorithm, d(rep.Batches), d(rep.Updates),
+				d(rep.FinalEdges), roundsPerBatch, d(rep.Checks),
+			})
+		}
+	}
+	t.Remarks = append(t.Remarks,
+		"every row passed its per-batch brute-force oracle checks (the run panics on divergence)",
+		"insertion-only algorithms pair only with grow* scenarios; MSF algorithms only with weighted ones")
+	return t
+}

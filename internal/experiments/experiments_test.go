@@ -121,6 +121,18 @@ func TestE12Small(t *testing.T) {
 	}
 }
 
+func TestE14Small(t *testing.T) {
+	tb := E14ScenarioSweep(48, 4, []string{"star", "grow-weighted"}, 14)
+	if len(tb.Rows) < 5 {
+		t.Fatalf("rows = %d: star should pair with the dynamic algorithms and grow-weighted with every insert-capable one", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[6] == "0" {
+			t.Errorf("row ran no checks: %v", r)
+		}
+	}
+}
+
 func TestE13Small(t *testing.T) {
 	tb := E13ParallelSpeedup(48, []int{1, 4}, 4, 13)
 	if len(tb.Rows) != 2 {

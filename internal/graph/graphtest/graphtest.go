@@ -1,0 +1,44 @@
+// Package graphtest provides shared graph fixtures for the algorithm test
+// suites: the degenerate topologies (star, Hamiltonian path, disjoint
+// cliques, empty graph) that randomized streams never hit, used by the
+// matching and nowickionak oracle cross-check tables.
+package graphtest
+
+import "repro/internal/graph"
+
+// TopologyNames lists the degenerate topologies in the order the tests
+// iterate them.
+var TopologyNames = []string{"star", "path", "cliques", "empty"}
+
+// CliqueSize is the block size of the disjoint-cliques topology.
+const CliqueSize = 6
+
+// Topology returns the named degenerate edge set on n vertices: "star"
+// (every edge a spoke of vertex 0), "path" (the Hamiltonian path
+// 0-1-…-(n-1)), "cliques" (disjoint complete blocks of CliqueSize
+// vertices), or "empty" (no edges). It panics on an unknown name.
+func Topology(name string, n int) []graph.Edge {
+	var out []graph.Edge
+	switch name {
+	case "star":
+		for v := 1; v < n; v++ {
+			out = append(out, graph.NewEdge(0, v))
+		}
+	case "path":
+		for v := 0; v+1 < n; v++ {
+			out = append(out, graph.NewEdge(v, v+1))
+		}
+	case "cliques":
+		for lo := 0; lo+CliqueSize <= n; lo += CliqueSize {
+			for i := 0; i < CliqueSize; i++ {
+				for j := i + 1; j < CliqueSize; j++ {
+					out = append(out, graph.NewEdge(lo+i, lo+j))
+				}
+			}
+		}
+	case "empty":
+	default:
+		panic("graphtest: unknown topology " + name)
+	}
+	return out
+}

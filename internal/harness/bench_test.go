@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+// BenchmarkHarnessOverhead measures what the differential checks add on
+// top of a plain run: the nochecks mode streams the scenario through the
+// algorithm untouched (CheckEvery < 0), everybatch runs the brute-force
+// oracles after each batch. The delta is the harness cost that E14 and the
+// test suites pay.
+func BenchmarkHarnessOverhead(b *testing.B) {
+	modes := []struct {
+		name       string
+		checkEvery int
+	}{
+		{"nochecks", -1},
+		{"everybatch", 1},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run("connectivity", "churn", Options{
+					N: 96, Batches: 6, Seed: 1, CheckEvery: m.checkEvery,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

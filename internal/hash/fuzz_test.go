@@ -1,0 +1,52 @@
+package hash
+
+import "testing"
+
+// FuzzPRGDeterminism fuzzes the reproducibility contract everything in the
+// repository leans on: the same seed must yield the same stream through
+// Next, NextN (always in range), Fork, and the hash families drawn from
+// the stream. A violation here would silently break golden traces,
+// scenario replay, and the parallelism-determinism guarantees.
+func FuzzPRGDeterminism(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(4))
+	f.Add(uint64(1), uint64(7), uint64(16))
+	f.Add(uint64(0xdeadbeef), uint64(1)<<40, uint64(64))
+	f.Add(^uint64(0), ^uint64(0), uint64(3))
+	f.Fuzz(func(t *testing.T, seed, n, steps uint64) {
+		steps = steps%256 + 1
+		a, b := NewPRG(seed), NewPRG(seed)
+		for i := uint64(0); i < steps; i++ {
+			if x, y := a.Next(), b.Next(); x != y {
+				t.Fatalf("step %d: Next diverged (%d vs %d)", i, x, y)
+			}
+		}
+		if n > 0 {
+			a, b = NewPRG(seed), NewPRG(seed)
+			for i := uint64(0); i < steps%8+1; i++ {
+				x, y := a.NextN(n), b.NextN(n)
+				if x != y {
+					t.Fatalf("step %d: NextN diverged (%d vs %d)", i, x, y)
+				}
+				if x >= n {
+					t.Fatalf("NextN(%d) = %d out of range", n, x)
+				}
+			}
+		}
+		if x, y := NewPRG(seed).Fork().Next(), NewPRG(seed).Fork().Next(); x != y {
+			t.Fatalf("forked streams diverged (%d vs %d)", x, y)
+		}
+		f1 := NewFamily(4, NewPRG(seed))
+		f2 := NewFamily(4, NewPRG(seed))
+		if x, y := f1.Hash(n), f2.Hash(n); x != y {
+			t.Fatalf("family hash diverged (%d vs %d)", x, y)
+		}
+		if h := f1.Hash(n); h >= Prime {
+			t.Fatalf("Hash(%d) = %d >= Prime", n, h)
+		}
+		if n > 0 {
+			if h := f1.HashRange(seed, n); h >= n {
+				t.Fatalf("HashRange(%d, %d) = %d out of range", seed, n, h)
+			}
+		}
+	})
+}

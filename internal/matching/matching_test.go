@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
 	"repro/internal/hash"
 	"repro/internal/oracle"
 )
@@ -385,5 +386,108 @@ func TestGreedyInsertAlreadyMatchedEndpoints(t *testing.T) {
 	}
 	if gm.Size() != 1 {
 		t.Errorf("size = %d, want 1", gm.Size())
+	}
+}
+
+// TestGreedyDegenerateTopologies cross-checks the insertion-only greedy
+// matching against the blossom oracle on each degenerate edge set: the
+// output must be a matching, maximal whenever the α-cap is not binding
+// (hence within 2x of optimal), and never larger than optimal.
+func TestGreedyDegenerateTopologies(t *testing.T) {
+	const n, alpha, batch = 36, 2.0, 8
+	for _, name := range graphtest.TopologyNames {
+		t.Run(name, func(t *testing.T) {
+			edges := graphtest.Topology(name, n)
+			gm, err := NewGreedyInsertOnly(n, alpha, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := graph.New(n)
+			for i := 0; i < len(edges); i += batch {
+				b := edges[i:min(i+batch, len(edges))]
+				for _, e := range b {
+					if err := g.Insert(e.U, e.V, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := gm.InsertBatch(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			opt := oracle.MaxMatchingSize(g)
+			if gm.Size() > opt {
+				t.Fatalf("size %d exceeds opt %d", gm.Size(), opt)
+			}
+			if gm.Size() < gm.Cap() {
+				if !oracle.IsMaximalMatching(g, gm.Matching()) {
+					t.Fatal("matching below the cap is not maximal")
+				}
+				if 2*gm.Size() < opt {
+					t.Fatalf("size %d below opt/2 for opt %d", gm.Size(), opt)
+				}
+			} else if !oracle.IsMatching(g, gm.Matching()) {
+				t.Fatal("capped output is not a matching")
+			}
+		})
+	}
+}
+
+// TestAKLYDegenerateTopologies runs the fully dynamic AKLY matching over
+// each degenerate topology: build it up, tear half of it down, and check
+// validity plus the size bound against the blossom oracle at every step,
+// with the 4α approximation bound at the end (the w.h.p. guarantee on a
+// fixed seed).
+func TestAKLYDegenerateTopologies(t *testing.T) {
+	const n, alpha, batch = 36, 2.0, 8
+	for _, name := range graphtest.TopologyNames {
+		t.Run(name, func(t *testing.T) {
+			edges := graphtest.Topology(name, n)
+			d, err := NewAKLYDynamic(n, alpha, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := graph.New(n)
+			check := func() {
+				t.Helper()
+				if m := d.Matching(); !oracle.IsMatching(g, m) {
+					t.Fatalf("output %v is not a matching", m)
+				}
+				if opt := oracle.MaxMatchingSize(g); d.Size() > opt {
+					t.Fatalf("size %d exceeds opt %d", d.Size(), opt)
+				}
+			}
+			apply := func(b graph.Batch) {
+				t.Helper()
+				if err := g.Apply(b); err != nil {
+					t.Fatal(err)
+				}
+				if err := d.ApplyBatch(b); err != nil {
+					t.Fatal(err)
+				}
+				check()
+			}
+			for i := 0; i < len(edges); i += batch {
+				var b graph.Batch
+				for _, e := range edges[i:min(i+batch, len(edges))] {
+					b = append(b, graph.Ins(e.U, e.V))
+				}
+				apply(b)
+			}
+			var dropped []graph.Edge
+			for i := 0; i < len(edges); i += 2 {
+				dropped = append(dropped, edges[i])
+			}
+			for i := 0; i < len(dropped); i += batch {
+				var b graph.Batch
+				for _, e := range dropped[i:min(i+batch, len(dropped))] {
+					b = append(b, graph.Del(e.U, e.V))
+				}
+				apply(b)
+			}
+			opt := oracle.MaxMatchingSize(g)
+			if float64(d.Size())*4*alpha < float64(opt) {
+				t.Errorf("final size %d not within 4α of opt %d", d.Size(), opt)
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
 	"repro/internal/hash"
 	"repro/internal/oracle"
 )
@@ -231,5 +232,64 @@ func TestTwoApproximation(t *testing.T) {
 	opt := oracle.MaxMatchingSize(g)
 	if 2*m.Size() < opt {
 		t.Errorf("maximal matching %d below half of maximum %d", m.Size(), opt)
+	}
+}
+
+// TestDegenerateTopologies cross-checks the matcher against the oracle on
+// each degenerate edge set (the regimes PR 1's randomized audit never
+// exercised): maximality (hence 2-approximation) must hold after the
+// build-up, after deleting every other edge (a correlated burst of freed
+// vertices), and after reinserting the deleted half.
+func TestDegenerateTopologies(t *testing.T) {
+	const n, batch = 36, 8
+	for _, name := range graphtest.TopologyNames {
+		t.Run(name, func(t *testing.T) {
+			edges := graphtest.Topology(name, n)
+			m := newMatcher(t, n)
+			g := graph.New(n)
+			apply := func(b graph.Batch) {
+				t.Helper()
+				if err := g.Apply(b); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.ApplyBatch(b); err != nil {
+					t.Fatal(err)
+				}
+				checkMaximal(t, m, g)
+			}
+			for i := 0; i < len(edges); i += batch {
+				var b graph.Batch
+				for _, e := range edges[i:min(i+batch, len(edges))] {
+					b = append(b, graph.Ins(e.U, e.V))
+				}
+				apply(b)
+			}
+			opt := oracle.MaxMatchingSize(g)
+			if m.Size() > opt || 2*m.Size() < opt {
+				t.Fatalf("size %d outside [opt/2, opt] for opt %d", m.Size(), opt)
+			}
+			var dropped []graph.Edge
+			for i := 0; i < len(edges); i += 2 {
+				dropped = append(dropped, edges[i])
+			}
+			for i := 0; i < len(dropped); i += batch {
+				var b graph.Batch
+				for _, e := range dropped[i:min(i+batch, len(dropped))] {
+					b = append(b, graph.Del(e.U, e.V))
+				}
+				apply(b)
+			}
+			for i := 0; i < len(dropped); i += batch {
+				var b graph.Batch
+				for _, e := range dropped[i:min(i+batch, len(dropped))] {
+					b = append(b, graph.Ins(e.U, e.V))
+				}
+				apply(b)
+			}
+			opt = oracle.MaxMatchingSize(g)
+			if m.Size() > opt || 2*m.Size() < opt {
+				t.Fatalf("post-churn size %d outside [opt/2, opt] for opt %d", m.Size(), opt)
+			}
+		})
 	}
 }

@@ -195,6 +195,39 @@ func IsMatching(g *graph.Graph, edges []graph.Edge) bool {
 	return true
 }
 
+// IsMaximalMatching verifies that edges form a *maximal* matching of g: a
+// valid matching (every edge present, no vertex covered twice) that leaves
+// no edge of g with both endpoints uncovered. Maximality is the exact
+// invariant of the Nowicki–Onak matcher and implies a 2-approximation of
+// the maximum matching.
+func IsMaximalMatching(g *graph.Graph, edges []graph.Edge) bool {
+	if !IsMatching(g, edges) {
+		return false
+	}
+	covered := make([]bool, g.N())
+	for _, e := range edges {
+		covered[e.U] = true
+		covered[e.V] = true
+	}
+	for u := 0; u < g.N(); u++ {
+		if covered[u] {
+			continue
+		}
+		maximal := true
+		g.Neighbors(u, func(v int, _ int64) bool {
+			if !covered[v] {
+				maximal = false
+				return false
+			}
+			return true
+		})
+		if !maximal {
+			return false
+		}
+	}
+	return true
+}
+
 // GreedyMaximalMatching returns a maximal matching of g, scanning edges in
 // canonical sorted order. Its size is at least half the maximum matching.
 func GreedyMaximalMatching(g *graph.Graph) []graph.Edge {

@@ -292,3 +292,31 @@ func TestForestPath(t *testing.T) {
 		t.Errorf("self path = %v", got)
 	}
 }
+
+func TestIsMaximalMatching(t *testing.T) {
+	g := graph.New(5) // path 0-1-2-3-4
+	for v := 0; v+1 < 5; v++ {
+		if err := g.Insert(v, v+1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name  string
+		edges []graph.Edge
+		want  bool
+	}{
+		{"maximal", []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)}, true},
+		{"not maximal", []graph.Edge{graph.NewEdge(1, 2)}, false},
+		{"not a matching", []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2)}, false},
+		{"missing edge", []graph.Edge{graph.NewEdge(0, 2)}, false},
+		{"empty on nonempty graph", nil, false},
+	}
+	for _, c := range cases {
+		if got := IsMaximalMatching(g, c.edges); got != c.want {
+			t.Errorf("%s: IsMaximalMatching = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !IsMaximalMatching(graph.New(3), nil) {
+		t.Error("empty matching on the empty graph should be maximal")
+	}
+}

@@ -1,0 +1,62 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// FuzzSketchRecovery fuzzes the ℓ0-sampler soundness invariants over
+// arbitrary insert/delete histories: a Found query must recover an index
+// that is genuinely in the sketched vector's support, a zero vector must
+// read Empty on every copy, and cancelling the support via linearity must
+// return the sketch to Empty. Each byte of ops toggles one coordinate (so
+// the vector stays in {0,1}^64, the incidence-vector regime).
+func FuzzSketchRecovery(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 1})
+	f.Add(uint64(7), []byte{0, 0})
+	f.Add(uint64(42), []byte{})
+	f.Add(uint64(9), []byte{63, 63, 63, 7, 7, 12, 255, 128})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		const idSpace = 64
+		space := NewSpace(idSpace, 4, hash.NewPRG(seed))
+		sk := space.NewSketch()
+		support := map[uint64]bool{}
+		for _, b := range ops {
+			idx := uint64(b) % idSpace
+			if support[idx] {
+				sk.Update(idx, -1)
+				delete(support, idx)
+			} else {
+				sk.Update(idx, +1)
+				support[idx] = true
+			}
+		}
+		for c := 0; c < space.Copies(); c++ {
+			idx, res := sk.Query(c)
+			switch res {
+			case Found:
+				if !support[idx] {
+					t.Fatalf("copy %d recovered %d, not in the support (l0=%d)", c, idx, len(support))
+				}
+			case Empty:
+				if len(support) != 0 {
+					t.Fatalf("copy %d reads Empty but l0 = %d", c, len(support))
+				}
+			}
+		}
+		// Linearity: subtracting the support must cancel the sketch exactly.
+		inv := sk.Clone()
+		for idx := range support {
+			inv.Update(idx, -1)
+		}
+		for c := 0; c < space.Copies(); c++ {
+			if _, res := inv.Query(c); res != Empty {
+				t.Fatalf("cancelled sketch still reads %v on copy %d", res, c)
+			}
+		}
+	})
+}

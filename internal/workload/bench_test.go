@@ -1,0 +1,22 @@
+package workload
+
+import "testing"
+
+// BenchmarkScenarioGen measures the generation cost of every registered
+// scenario (batch size 64 on 256 vertices), so generator overhead is
+// visible in the perf trajectory next to the algorithms it feeds.
+func BenchmarkScenarioGen(b *testing.B) {
+	for _, name := range Names() {
+		sc, err := Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			gen := sc.New(256, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gen.Next(64)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Generator is the common interface of every update-stream generator: Next
+// emits the next batch of at most size valid updates (possibly fewer if the
+// scenario stalls, e.g. a saturated insert-only stream), and Mirror exposes
+// the reference graph reflecting every update emitted so far. Generators
+// are seeded and deterministic, and their choices never depend on algorithm
+// state — the oblivious-adversary model of the paper.
+type Generator interface {
+	Next(size int) graph.Batch
+	Mirror() *graph.Graph
+}
+
+// Scenario is a registry entry: a named, seeded stream family plus the
+// metadata the differential harness needs to pair it with algorithms.
+type Scenario struct {
+	// Name is the registry key (also the -scenario CLI value).
+	Name string
+	// Stresses summarizes what regime the stream exercises (shown in the
+	// README catalogue and the E14 table).
+	Stresses string
+	// InsertOnly marks streams that never emit deletions; only these may
+	// drive the insertion-only algorithms (exact MSF, greedy matching).
+	InsertOnly bool
+	// Weighted marks streams whose updates carry weights >= 1, required by
+	// the MSF algorithms.
+	Weighted bool
+	// New builds a fresh generator on n vertices from the seed.
+	New func(n int, seed uint64) Generator
+}
+
+// registry maps scenario names to their entries. It is populated by the
+// Register calls in scenarios.go at init time and never mutated afterwards,
+// so concurrent readers need no locking.
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry. It panics on duplicate or
+// anonymous registrations (registration happens at init time; a bad entry
+// is a programming error).
+func Register(s Scenario) {
+	if s.Name == "" || s.New == nil {
+		panic("workload: Register with empty name or nil constructor")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named scenario or an error listing the valid names.
+func Get(name string) (Scenario, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Record drives gen for the given number of batches and returns the emitted
+// stream, dropping empty batches (a stalled generator emits nothing rather
+// than an invalid update). The result serializes with streamio.Write into
+// the .stream golden format and replays with NewReplay.
+func Record(gen Generator, batches, size int) []graph.Batch {
+	var out []graph.Batch
+	for i := 0; i < batches; i++ {
+		if b := gen.Next(size); len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Replay is a Generator that replays a recorded stream (e.g. one parsed
+// from a .stream file), re-validating every batch against its own mirror,
+// so a corrupted trace fails loudly instead of feeding an algorithm an
+// invalid update.
+type Replay struct {
+	g       *graph.Graph
+	batches []graph.Batch
+	next    int
+	// off is the number of updates of batches[next] already emitted (a
+	// split batch is consumed in place without mutating the caller's
+	// slice, so the same recording can back several replays).
+	off int
+}
+
+// NewReplay returns a replay generator over n vertices. The recorded batch
+// boundaries are preserved; Next's size argument only caps how much of the
+// current recorded batch is emitted at once.
+func NewReplay(n int, batches []graph.Batch) *Replay {
+	return &Replay{g: graph.New(n), batches: batches}
+}
+
+// Mirror returns the reference graph of the replayed prefix.
+func (r *Replay) Mirror() *graph.Graph { return r.g }
+
+// Done reports whether the recorded stream is exhausted.
+func (r *Replay) Done() bool { return r.next >= len(r.batches) }
+
+// Next emits the next recorded batch, split if it exceeds size. It panics
+// if the recorded stream is not valid against the mirror.
+func (r *Replay) Next(size int) graph.Batch {
+	if r.Done() {
+		return nil
+	}
+	b := r.batches[r.next][r.off:]
+	if size < len(b) {
+		// Split: emit a prefix and remember how far we got.
+		r.off += size
+		b = b[:size]
+	} else {
+		r.next++
+		r.off = 0
+	}
+	if err := r.g.Apply(b); err != nil {
+		panic(fmt.Sprintf("workload: replayed stream invalid: %v", err))
+	}
+	return b
+}
