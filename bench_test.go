@@ -170,6 +170,7 @@ func benchmarkStep(b *testing.B, machines, parallelism int) {
 	// Per-machine sinks keep the scan from being optimized away without
 	// sharing state across concurrent callbacks (StepFunc contract).
 	sinks := make([]uint64, machines)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step(func(m *mpc.Machine, inbox []mpc.Message) []mpc.Message {

@@ -8,4 +8,13 @@
 // bench_test.go and cmd/experiments, and the differential-testing engine —
 // which cross-checks every algorithm against the brute-force oracles over
 // every registered scenario — in internal/harness.
+//
+// The hot path is allocation-free at steady state: sketch.Arena backs all
+// vertex sketches of a machine shard with one contiguous buffer (sketches
+// are cheap views, not heap objects), mpc.MessageBatch packs per-edge
+// traffic into one length-prefixed frame buffer per (src, dst) machine
+// pair, and the simulator reuses its per-round routing buffers. The
+// profile is locked in by allocation-budget tests and the benchmark
+// baseline BENCH_sketch.json, gated in CI by scripts/benchdiff.go (see
+// README.md "Performance").
 package repro

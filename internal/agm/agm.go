@@ -16,6 +16,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/mpc"
 	"repro/internal/sketch"
+	"repro/internal/sketchcodec"
 )
 
 // Store slots.
@@ -24,17 +25,17 @@ const (
 	slotBcast = "b"
 )
 
-// shard is one machine's vertex range: sketches and the transient query
-// labels.
+// shard is one machine's vertex range: the vertex sketches (one contiguous
+// arena) and the transient query labels.
 type shard struct {
 	lo, hi int
-	sk     []*sketch.VertexSketch
+	n      int
+	arena  *sketch.Arena
 	labels []int
-	perSk  int
 }
 
 // Words implements mpc.Sized.
-func (s *shard) Words() int { return len(s.sk)*s.perSk + len(s.labels) + 2 }
+func (s *shard) Words() int { return s.arena.Words() + len(s.labels) + 2 }
 
 // Connectivity is the AGM baseline instance.
 type Connectivity struct {
@@ -95,10 +96,7 @@ func New(cfg Config) (*Connectivity, error) {
 			return
 		}
 		lo, hi := c.part.Range(mm.ID)
-		sh := &shard{lo: lo, hi: hi, perSk: space.SketchWords()}
-		for v := lo; v < hi; v++ {
-			sh.sk = append(sh.sk, sketch.NewVertexSketch(space, cfg.N))
-		}
+		sh := &shard{lo: lo, hi: hi, n: cfg.N, arena: space.NewArena(hi - lo)}
 		mm.Set(slotShard, sh)
 	})
 	return c, nil
@@ -125,7 +123,7 @@ func (c *Connectivity) ApplyBatch(b graph.Batch) error {
 			e := u.Edge.Canonical()
 			for _, v := range []int{e.U, e.V} {
 				if v >= sh.lo && v < sh.hi {
-					sh.sk[v-sh.lo].ApplyEdge(v, e, u.Op)
+					sh.arena.VertexAt(v-sh.lo, sh.n).ApplyEdge(v, e, u.Op)
 				}
 			}
 		}
@@ -276,43 +274,21 @@ func (c *Connectivity) query(wantForest bool) ([]int, int, []graph.Edge) {
 }
 
 // mergeSupernodeSketches sums vertex sketches by current label and gathers
-// the per-label sums to the coordinator. (The volume is bounded by the
-// number of active supernodes; the experiments use graphs whose supernode
-// count shrinks geometrically, the regime AGM is designed for.)
-func (c *Connectivity) mergeSupernodeSketches() map[int]*sketch.Sketch {
-	perSk := c.space.SketchWords()
-	res := c.cl.Aggregate(c.coord,
-		func(mm *mpc.Machine) mpc.Sized {
+// the per-label sums to the coordinator as [label, cells...] frames of the
+// batched message codec. (The volume is bounded by the number of active
+// supernodes; the experiments use graphs whose supernode count shrinks
+// geometrically, the regime AGM is designed for.)
+func (c *Connectivity) mergeSupernodeSketches() map[int]sketch.Sketch {
+	return sketchcodec.AggregateByLabel(c.cl, c.coord, c.space,
+		func(mm *mpc.Machine, add func(label int, sk sketch.Sketch)) {
 			sh, ok := mm.Get(slotShard).(*shard)
 			if !ok {
-				return nil
+				return
 			}
-			partial := map[int]*sketch.Sketch{}
 			for i, l := range sh.labels {
-				if cur, ok := partial[l]; ok {
-					cur.Add(sh.sk[i].Sketch)
-				} else {
-					partial[l] = sh.sk[i].Sketch.Clone()
-				}
+				add(l, sh.arena.At(i))
 			}
-			return mpc.Value{V: partial, N: len(partial) * perSk}
-		},
-		func(a, b mpc.Sized) mpc.Sized {
-			am := a.(mpc.Value).V.(map[int]*sketch.Sketch)
-			for l, sk := range b.(mpc.Value).V.(map[int]*sketch.Sketch) {
-				if cur, ok := am[l]; ok {
-					cur.Add(sk)
-				} else {
-					am[l] = sk
-				}
-			}
-			return mpc.Value{V: am, N: len(am) * perSk}
-		},
-	)
-	if res == nil {
-		return map[int]*sketch.Sketch{}
-	}
-	return res.(mpc.Value).V.(map[int]*sketch.Sketch)
+		})
 }
 
 // lookupLabels resolves current labels for the given vertices.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/mpc"
 	"repro/internal/sketch"
+	"repro/internal/sketchcodec"
 )
 
 // Extra machine-store slots used by DynamicConnectivity.
@@ -16,22 +17,25 @@ const (
 	slotWork   = "w" // coordinator workspace during replacement search
 )
 
-// sketchShard holds the AGM vertex sketches of one machine's vertex range.
+// sketchShard holds the AGM vertex sketches of one machine's vertex range,
+// backed by one contiguous sketch arena (one allocation per shard, not one
+// per vertex).
 type sketchShard struct {
 	lo    int
-	sk    []*sketch.VertexSketch
-	perSk int
+	n     int
+	arena *sketch.Arena
 }
 
 // Words implements mpc.Sized.
-func (s *sketchShard) Words() int { return len(s.sk)*s.perSk + 1 }
+func (s *sketchShard) Words() int { return s.arena.Words() + 1 }
 
-func (s *sketchShard) of(v int) *sketch.VertexSketch { return s.sk[v-s.lo] }
+func (s *sketchShard) of(v int) sketch.VertexSketch { return s.arena.VertexAt(v-s.lo, s.n) }
 
 // workspace is the coordinator's transient state during the replacement
-// search: the merged sketch of every supernode.
+// search: the merged sketch of every supernode (views into the aggregated
+// batch buffer).
 type workspace struct {
-	sketches map[int]*sketch.Sketch
+	sketches map[int]sketch.Sketch
 	perSk    int
 }
 
@@ -76,10 +80,7 @@ func NewDynamicConnectivity(cfg Config) (*DynamicConnectivity, error) {
 		if vs == nil {
 			return
 		}
-		sh := &sketchShard{lo: vs.lo, perSk: space.SketchWords()}
-		for v := vs.lo; v < vs.hi; v++ {
-			sh.sk = append(sh.sk, sketch.NewVertexSketch(space, cfg.N))
-		}
+		sh := &sketchShard{lo: vs.lo, n: cfg.N, arena: space.NewArena(vs.hi - vs.lo)}
 		mm.Set(slotSketch, sh)
 	})
 	return dc, nil
@@ -229,43 +230,21 @@ func (dc *DynamicConnectivity) delete(edges []graph.Edge) error {
 // aggregateFragmentSketches merges the vertex sketches of every fragment
 // produced by the preceding Cut (keyed by the fragment's fresh component
 // id) and delivers them to the coordinator: Lemma 6.5's sketch-merging step,
-// O(1/φ) rounds through the aggregation tree.
-func (dc *DynamicConnectivity) aggregateFragmentSketches() map[int]*sketch.Sketch {
-	perSk := dc.space.SketchWords()
-	res := dc.f.cl.Aggregate(dc.f.coord,
-		func(mm *mpc.Machine) mpc.Sized {
+// O(1/φ) rounds through the aggregation tree. Sketches travel as
+// [label, cells...] frames of the batched message codec and come back as
+// views into the final batch buffer.
+func (dc *DynamicConnectivity) aggregateFragmentSketches() map[int]sketch.Sketch {
+	return sketchcodec.AggregateByLabel(dc.f.cl, dc.f.coord, dc.space,
+		func(mm *mpc.Machine, add func(label int, sk sketch.Sketch)) {
 			vs := vShard(mm)
 			if vs == nil || len(vs.frag) == 0 {
-				return nil
+				return
 			}
 			sh := mm.Get(slotSketch).(*sketchShard)
-			partial := map[int]*sketch.Sketch{}
 			for v := range vs.frag {
-				c := vs.compOf(v)
-				if cur, ok := partial[c]; ok {
-					cur.Add(sh.of(v).Sketch)
-				} else {
-					partial[c] = sh.of(v).Sketch.Clone()
-				}
+				add(vs.compOf(v), sh.of(v).Sketch)
 			}
-			return mpc.Value{V: partial, N: len(partial) * perSk}
-		},
-		func(a, b mpc.Sized) mpc.Sized {
-			am := a.(mpc.Value).V.(map[int]*sketch.Sketch)
-			for c, sk := range b.(mpc.Value).V.(map[int]*sketch.Sketch) {
-				if cur, ok := am[c]; ok {
-					cur.Add(sk)
-				} else {
-					am[c] = sk
-				}
-			}
-			return mpc.Value{V: am, N: len(am) * perSk}
-		},
-	)
-	if res == nil {
-		return map[int]*sketch.Sketch{}
-	}
-	return res.(mpc.Value).V.(map[int]*sketch.Sketch)
+		})
 }
 
 // findReplacements runs the AGM-style Borůvka over the fragments at the
@@ -337,8 +316,8 @@ func (dc *DynamicConnectivity) findReplacements() ([]graph.Edge, error) {
 				ra, rb = rb, ra
 			}
 			parent[rb] = ra
-			skB := ws.sketches[rb]
-			if skA, ok := ws.sketches[ra]; ok && skB != nil {
+			skB, okB := ws.sketches[rb]
+			if skA, okA := ws.sketches[ra]; okA && okB {
 				skA.Add(skB)
 			}
 			delete(ws.sketches, rb)

@@ -713,11 +713,10 @@ func (f *Forest) Cut(edges []graph.Edge) (*CutReport, error) {
 
 // pushFragments has edge shards announce, for every record now on a fresh
 // tour, the fragment of its endpoints; vertex shards record the mapping and
-// mark message-less affected vertices as singletons.
+// mark message-less affected vertices as singletons. The (vertex, fragment)
+// pairs travel as two-word frames of the batched message codec: one packed
+// buffer per (edge shard, vertex owner) pair.
 func (f *Forest) pushFragments(newTours map[eulertour.TourID]bool, affectedComps map[int]bool) {
-	type fragMsg struct {
-		pairs [][2]uint64 // (vertex, fragment key)
-	}
 	// Step 1: edge shards emit deduplicated (vertex, frag) pairs.
 	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
 		es := eShard(mm)
@@ -737,24 +736,26 @@ func (f *Forest) pushFragments(newTours map[eulertour.TourID]bool, affectedComps
 		}
 		var out []mpc.Message
 		for owner, pairs := range byOwner {
-			msg := fragMsg{}
+			b := mpc.AcquireMessageBatch()
 			for v, k := range pairs {
-				msg.pairs = append(msg.pairs, [2]uint64{v, k})
+				b.Append(v, k)
 			}
-			out = append(out, mpc.Message{To: owner, Payload: mpc.Value{V: msg, N: 2 * len(msg.pairs)}})
+			out = append(out, mpc.Message{To: owner, Payload: b})
 		}
 		return out
 	})
-	// Step 2: vertex shards absorb the mapping.
+	// Step 2: vertex shards absorb the mapping and recycle the buffers.
 	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
 		vs := vShard(mm)
 		if vs == nil {
 			return nil
 		}
 		for _, msg := range inbox {
-			for _, pr := range msg.Payload.(mpc.Value).V.(fragMsg).pairs {
+			b := msg.Payload.(*mpc.MessageBatch)
+			for pr := range b.Frames {
 				vs.frag[int(pr[0])] = pr[1]
 			}
+			b.Release()
 		}
 		// Affected vertices with no fragment message are singletons now.
 		for i := range vs.comp {

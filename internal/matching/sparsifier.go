@@ -13,7 +13,7 @@ type pairKey struct{ i, j int }
 
 // pairState is one pair's ℓ0-sampler and its last reported outcome.
 type pairState struct {
-	sk      *sketch.Sketch
+	sk      sketch.Sketch
 	outcome graph.Edge
 	has     bool
 }

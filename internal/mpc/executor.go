@@ -111,6 +111,10 @@ func (b *poolBarrier) recordPanic(idx int, val any) {
 type WorkerPool struct {
 	workers int
 	tasks   chan poolTask
+	// done is the reused per-Run barrier: Run is never invoked concurrently
+	// on one pool (a cluster issues one round at a time), so recycling the
+	// barrier keeps the round dispatch allocation-free.
+	done poolBarrier
 }
 
 // NewWorkerPool returns a worker-pool executor with the given number of
@@ -174,7 +178,8 @@ func (p *WorkerPool) Run(n int, fn func(i int)) {
 		shards = n
 	}
 	per := (n + shards - 1) / shards
-	done := &poolBarrier{}
+	done := &p.done
+	done.panicked = false
 	for lo := 0; lo < n; lo += per {
 		hi := lo + per
 		if hi > n {

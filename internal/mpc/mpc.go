@@ -22,6 +22,13 @@
 // or a worker pool), while message routing and metering are folded back in
 // machine order at the round barrier, so every metric the simulator reports
 // is bit-identical at any parallelism level.
+//
+// The round machinery itself is allocation-free at steady state: the
+// cluster owns its routing buffers (per-machine outboxes, double-buffered
+// inboxes, word counters) and reuses them round over round, and MessageBatch
+// provides a length-prefixed binary codec so algorithms route one packed
+// buffer per (src, dst) machine pair instead of one small allocation per
+// logical message. See codec.go and the allocation-budget tests.
 package mpc
 
 import (
@@ -145,12 +152,34 @@ func (m *Machine) Set(key string, v Sized) { m.Store[key] = v }
 func (m *Machine) Delete(key string) { delete(m.Store, key) }
 
 // Cluster is a simulated MPC system.
+//
+// The per-round working buffers (outboxes, the spare inbox set, word
+// counters) and the executor dispatch closures are allocated once here and
+// reused every round, so a steady-state Step performs no allocation of its
+// own: whatever a round allocates comes from the algorithm's callback.
 type Cluster struct {
 	cfg      Config
 	exec     Executor
 	machines []*Machine
 	inboxes  [][]Message
 	stats    Stats
+
+	// Reused round scratch. spare is the second half of the inbox double
+	// buffer: every Step fills it, swaps it with inboxes, and truncates the
+	// retired set for the next round.
+	outs       [][]Message
+	spare      [][]Message
+	stateWords []int
+	recvWords  []int
+
+	// stepFn/localFn hold the current round's callback for the preallocated
+	// dispatch closures below (building a fresh closure per round would
+	// allocate).
+	stepFn   StepFunc
+	localFn  func(m *Machine)
+	runStep  func(i int)
+	runLocal func(i int)
+	runMeter func(i int)
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -162,13 +191,28 @@ func NewCluster(cfg Config) *Cluster {
 		panic(fmt.Sprintf("mpc: local memory %d", cfg.LocalMemory))
 	}
 	c := &Cluster{
-		cfg:      cfg,
-		exec:     NewExecutor(cfg.Parallelism),
-		machines: make([]*Machine, cfg.Machines),
-		inboxes:  make([][]Message, cfg.Machines),
+		cfg:        cfg,
+		exec:       NewExecutor(cfg.Parallelism),
+		machines:   make([]*Machine, cfg.Machines),
+		inboxes:    make([][]Message, cfg.Machines),
+		outs:       make([][]Message, cfg.Machines),
+		spare:      make([][]Message, cfg.Machines),
+		stateWords: make([]int, cfg.Machines),
+		recvWords:  make([]int, cfg.Machines),
 	}
 	for i := range c.machines {
 		c.machines[i] = &Machine{ID: i, Store: make(map[string]Sized)}
+	}
+	c.runStep = func(i int) {
+		c.outs[i] = c.stepFn(c.machines[i], c.inboxes[i])
+		c.stateWords[i] = c.machines[i].StateWords()
+	}
+	c.runLocal = func(i int) {
+		c.localFn(c.machines[i])
+		c.stateWords[i] = c.machines[i].StateWords()
+	}
+	c.runMeter = func(i int) {
+		c.stateWords[i] = c.machines[i].StateWords()
 	}
 	return c
 }
@@ -211,6 +255,12 @@ func (c *Cluster) violate(format string, args ...any) {
 // machine and the messages delivered this round and returns the messages to
 // send; returned messages are delivered at the start of the next round.
 //
+// Buffer lifetimes: the inbox slice is valid only for the duration of the
+// callback (its backing array is recycled two rounds later), so callbacks
+// must not retain it — payload values may be retained as usual. The
+// returned slice is copied out during the round's merge phase, so callers
+// may reuse a per-machine outbox buffer across rounds.
+//
 // Concurrency contract: the cluster may invoke the callback for different
 // machines concurrently (Config.Parallelism), so the callback must touch
 // only the state of the machine it was invoked for — its Store, its inbox,
@@ -234,16 +284,22 @@ type StepFunc func(m *Machine, inbox []Message) []Message
 // reporting are bit-identical at every parallelism level.
 func (c *Cluster) Step(fn StepFunc) {
 	M := c.cfg.Machines
-	outs := make([][]Message, M)
-	stateWords := make([]int, M)
-	c.exec.Run(M, func(i int) {
-		outs[i] = fn(c.machines[i], c.inboxes[i])
-		stateWords[i] = c.machines[i].StateWords()
-	})
-	// Deterministic merge by sender id.
-	next := make([][]Message, M)
-	recvWords := make([]int, M)
-	for i, out := range outs {
+	c.stepFn = fn
+	c.exec.Run(M, c.runStep)
+	c.stepFn = nil
+	// Deterministic merge by sender id, into the spare inbox set (the
+	// buffers retired two rounds ago, capacity intact). Truncate the spare
+	// buffers here rather than trusting the previous round's cleanup: if a
+	// Strict-mode violation panicked mid-merge and the caller recovered,
+	// the spare set still holds that round's partial merge, which must not
+	// leak into this one.
+	next := c.spare
+	for i := range next {
+		clear(next[i])
+		next[i] = next[i][:0]
+	}
+	clear(c.recvWords)
+	for i, out := range c.outs {
 		sendWords := 0
 		for _, msg := range out {
 			if msg.To < 0 || msg.To >= M {
@@ -256,11 +312,12 @@ func (c *Cluster) Step(fn StepFunc) {
 				w = msg.Payload.Words()
 			}
 			sendWords += w
-			recvWords[msg.To] += w
+			c.recvWords[msg.To] += w
 			next[msg.To] = append(next[msg.To], msg)
 			c.stats.Messages++
 			c.stats.WordsSent += int64(w)
 		}
+		c.outs[i] = nil
 		if sendWords > c.cfg.LocalMemory {
 			c.violate("machine %d sent %d words in one round (cap %d)", i, sendWords, c.cfg.LocalMemory)
 		}
@@ -268,7 +325,7 @@ func (c *Cluster) Step(fn StepFunc) {
 			c.stats.MaxSendWords = sendWords
 		}
 	}
-	for i, w := range recvWords {
+	for i, w := range c.recvWords {
 		if w > c.cfg.LocalMemory {
 			c.violate("machine %d received %d words in one round (cap %d)", i, w, c.cfg.LocalMemory)
 		}
@@ -276,20 +333,26 @@ func (c *Cluster) Step(fn StepFunc) {
 			c.stats.MaxRecvWords = w
 		}
 	}
+	retired := c.inboxes
 	c.inboxes = next
+	// Drop payload references from the retired inboxes eagerly (they are
+	// truncated again, defensively, at the next merge) and keep their
+	// backing arrays as the next round's merge buffers.
+	for i := range retired {
+		clear(retired[i])
+		retired[i] = retired[i][:0]
+	}
+	c.spare = retired
 	c.stats.Rounds++
-	c.reduceMemory(stateWords)
+	c.reduceMemory(c.stateWords)
 }
 
 // meterMemory samples per-machine and total memory at the round boundary:
 // the store walks run through the executor, the reduction into Stats runs in
 // machine order on the calling goroutine.
 func (c *Cluster) meterMemory() {
-	stateWords := make([]int, c.cfg.Machines)
-	c.exec.Run(c.cfg.Machines, func(i int) {
-		stateWords[i] = c.machines[i].StateWords()
-	})
-	c.reduceMemory(stateWords)
+	c.exec.Run(c.cfg.Machines, c.runMeter)
+	c.reduceMemory(c.stateWords)
 }
 
 // reduceMemory folds pre-computed per-machine store sizes into the memory
@@ -322,12 +385,10 @@ func (c *Cluster) LocalAt(id int, fn func(m *Machine)) {
 // callbacks run through the executor and must obey the StepFunc concurrency
 // contract.
 func (c *Cluster) LocalAll(fn func(m *Machine)) {
-	stateWords := make([]int, c.cfg.Machines)
-	c.exec.Run(c.cfg.Machines, func(i int) {
-		fn(c.machines[i])
-		stateWords[i] = c.machines[i].StateWords()
-	})
-	c.reduceMemory(stateWords)
+	c.localFn = fn
+	c.exec.Run(c.cfg.Machines, c.runLocal)
+	c.localFn = nil
+	c.reduceMemory(c.stateWords)
 }
 
 // fanout returns the broadcast/aggregation tree fanout for payloads of w

@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -517,5 +518,45 @@ func TestBroadcastOversizedPayloadViolates(t *testing.T) {
 	c.Broadcast(0, "big", U64s(make([]uint64, 32)))
 	if len(c.Stats().Violations) == 0 {
 		t.Error("oversized broadcast recorded no violations")
+	}
+}
+
+// TestStrictPanicRecoveryDoesNotReplayMessages guards the reused round
+// buffers against a recovered Strict-mode violation: a panic mid-merge
+// leaves a partial merge in the spare inbox set, and the next Step must
+// discard it rather than deliver last round's messages again.
+func TestStrictPanicRecoveryDoesNotReplayMessages(t *testing.T) {
+	c := NewCluster(Config{Machines: 3, LocalMemory: 4, Strict: true})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("over-cap send did not panic in Strict mode")
+			}
+		}()
+		c.Step(func(m *Machine, inbox []Message) []Message {
+			// Machine 0 overflows its send cap; its message is merged into
+			// the spare buffers before the cap check panics.
+			if m.ID == 0 {
+				return []Message{{To: 1, Payload: U64s(make([]uint64, 8))}}
+			}
+			return nil
+		})
+	}()
+	var got [][]int
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		if m.ID == 2 {
+			return []Message{{To: 1, Payload: Word(7)}}
+		}
+		return nil
+	})
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, msg := range inbox {
+			got = append(got, []int{m.ID, msg.From, msg.Payload.Words()})
+		}
+		return nil
+	})
+	want := [][]int{{1, 2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery deliveries = %v, want %v (stale messages replayed)", got, want)
 	}
 }

@@ -335,16 +335,39 @@ func (m *Matcher) rematch(freed []int) error {
 	return nil
 }
 
-// proposal carries propose/accept/reject/confirm traffic; kind 0 proposal,
-// 1 accept, 2 busy-but-free rejection, 3 confirm.
-type proposal struct {
-	from, to int
-	kind     uint8
+// Propose/accept/reject/confirm traffic travels as three-word frames
+// [from, to, kind] of the batched message codec: one packed buffer per
+// (src, dst) machine pair per protocol step instead of one small payload
+// per proposal.
+const (
+	kindPropose  = 0
+	kindAccept   = 1
+	kindBusyFree = 2 // busy-but-free rejection
+	kindConfirm  = 3
+)
+
+// appendProposal adds one [from, to, kind] frame to dst's batch, acquiring
+// the batch on first use.
+func appendProposal(byOwner map[int]*mpc.MessageBatch, dst, from, to, kind int) {
+	b := byOwner[dst]
+	if b == nil {
+		b = mpc.AcquireMessageBatch()
+		byOwner[dst] = b
+	}
+	b.Append(uint64(from), uint64(to), uint64(kind))
 }
 
-type proposalsPayload struct{ ps []proposal }
-
-func (p proposalsPayload) Words() int { return 3 * len(p.ps) }
+// batchMessages flattens the per-owner batches into outgoing messages.
+func batchMessages(byOwner map[int]*mpc.MessageBatch) []mpc.Message {
+	if len(byOwner) == 0 {
+		return nil
+	}
+	out := make([]mpc.Message, 0, len(byOwner))
+	for owner, b := range byOwner {
+		out = append(out, mpc.Message{To: owner, Payload: b})
+	}
+	return out
+}
 
 // rematchRound runs one protocol round and returns, per pending vertex,
 // whether it observed a free neighbor (and hence should retry if unmatched).
@@ -367,20 +390,16 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 		if sh == nil {
 			return nil
 		}
-		byOwner := map[int][]proposal{}
+		byOwner := map[int]*mpc.MessageBatch{}
 		for _, v := range mm.Get(slotBcast).(mpc.Ints) {
 			if !sh.owns(v) || sh.match[v-sh.lo] != -1 {
 				continue
 			}
 			for o := range sh.adj[v-sh.lo] {
-				byOwner[m.part.Owner(o)] = append(byOwner[m.part.Owner(o)], proposal{from: v, to: o})
+				appendProposal(byOwner, m.part.Owner(o), v, o, kindPropose)
 			}
 		}
-		var out []mpc.Message
-		for owner, ps := range byOwner {
-			out = append(out, mpc.Message{To: owner, Payload: proposalsPayload{ps: ps}})
-		}
-		return out
+		return batchMessages(byOwner)
 	})
 	// Step B: free targets accept the minimum admissible proposer and send
 	// busy-but-free rejections to the others.
@@ -391,14 +410,17 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 		}
 		props := map[int][]int{} // free target -> proposers
 		for _, msg := range inbox {
-			for _, p := range msg.Payload.(proposalsPayload).ps {
-				if !sh.owns(p.to) || sh.match[p.to-sh.lo] != -1 {
+			b := msg.Payload.(*mpc.MessageBatch)
+			for p := range b.Frames {
+				from, to := int(p[0]), int(p[1])
+				if !sh.owns(to) || sh.match[to-sh.lo] != -1 {
 					continue
 				}
-				props[p.to] = append(props[p.to], p.from)
+				props[to] = append(props[to], from)
 			}
+			b.Release()
 		}
-		var out []mpc.Message
+		byOwner := map[int]*mpc.MessageBatch{}
 		for to, froms := range props {
 			best := -1
 			for _, f := range froms {
@@ -410,21 +432,18 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 				}
 			}
 			for _, f := range froms {
-				kind := uint8(2) // busy-but-free
+				kind := kindBusyFree
 				if f == best {
-					kind = 1 // accept
+					kind = kindAccept
 				}
-				out = append(out, mpc.Message{
-					To:      m.part.Owner(f),
-					Payload: proposalsPayload{ps: []proposal{{from: to, to: f, kind: kind}}},
-				})
+				appendProposal(byOwner, m.part.Owner(f), to, f, kind)
 			}
 			if best != -1 && pendSet[to] {
 				abstain[to] = true
 				sawFree[to] = true
 			}
 		}
-		return out
+		return batchMessages(byOwner)
 	})
 	// Step C: proposers confirm their minimum accepter (unless abstaining).
 	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
@@ -434,29 +453,28 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 		}
 		bestAccept := map[int]int{}
 		for _, msg := range inbox {
-			for _, p := range msg.Payload.(proposalsPayload).ps {
-				v := p.to // the original proposer
+			b := msg.Payload.(*mpc.MessageBatch)
+			for p := range b.Frames {
+				from, v, kind := int(p[0]), int(p[1]), int(p[2]) // v: the original proposer
 				if !sh.owns(v) {
 					continue
 				}
 				sawFree[v] = true // accept or busy-but-free: a free neighbor exists
-				if p.kind != 1 || sh.match[v-sh.lo] != -1 || abstain[v] {
+				if kind != kindAccept || sh.match[v-sh.lo] != -1 || abstain[v] {
 					continue
 				}
-				if cur, ok := bestAccept[v]; !ok || p.from < cur {
-					bestAccept[v] = p.from
+				if cur, ok := bestAccept[v]; !ok || from < cur {
+					bestAccept[v] = from
 				}
 			}
+			b.Release()
 		}
-		var out []mpc.Message
+		byOwner := map[int]*mpc.MessageBatch{}
 		for v, u := range bestAccept {
 			sh.match[v-sh.lo] = u
-			out = append(out, mpc.Message{
-				To:      m.part.Owner(u),
-				Payload: proposalsPayload{ps: []proposal{{from: v, to: u, kind: 3}}},
-			})
+			appendProposal(byOwner, m.part.Owner(u), v, u, kindConfirm)
 		}
-		return out
+		return batchMessages(byOwner)
 	})
 	// Step D: accepters finalize.
 	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
@@ -465,11 +483,14 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 			return nil
 		}
 		for _, msg := range inbox {
-			for _, p := range msg.Payload.(proposalsPayload).ps {
-				if p.kind == 3 && sh.owns(p.to) && sh.match[p.to-sh.lo] == -1 {
-					sh.match[p.to-sh.lo] = p.from
+			b := msg.Payload.(*mpc.MessageBatch)
+			for p := range b.Frames {
+				from, to, kind := int(p[0]), int(p[1]), int(p[2])
+				if kind == kindConfirm && sh.owns(to) && sh.match[to-sh.lo] == -1 {
+					sh.match[to-sh.lo] = from
 				}
 			}
+			b.Release()
 		}
 		return nil
 	})

@@ -10,10 +10,29 @@
 // the property that makes the connectivity algorithm work — summing the
 // vertex sketches of a set A cancels all edges internal to A and leaves
 // exactly the edges of the cut E(A, V \ A) (Lemma 3.3).
+//
+// # Representation
+//
+// Sketch state is stored flat: every sketch is a run of SketchWords()
+// machine words (t copies × (levels+1) cells × 3 words per cell), and a
+// Sketch value is a cheap view — a Space pointer plus a word slice — not a
+// heap object of its own. Views come from three places:
+//
+//   - an Arena, which backs all the vertex sketches of one machine shard
+//     with a single contiguous allocation (see arena.go);
+//   - Space.NewSketch, a standalone one-allocation sketch;
+//   - Space.Scratch, a sync.Pool-backed buffer for the transient
+//     merge-and-query work of the recovery paths, returned with
+//     Space.Release.
+//
+// Update, Add, Query and the cell-recovery scan all operate on the word
+// slices in place and perform no allocation, which is what keeps the
+// simulator's sketch hot path allocation-free at steady state.
 package sketch
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/hash"
@@ -46,34 +65,28 @@ func (r QueryResult) String() string {
 	}
 }
 
-// cell is a one-sparse recovery structure: exact counter, index sum and a
-// random linear fingerprint, all linear in the underlying vector.
-type cell struct {
-	count int64  // sum of coordinate values
-	isum  uint64 // sum of value*index over F_p
-	fp    uint64 // sum of value*h_fp(index) over F_p
-}
+// One cell is a one-sparse recovery structure — exact counter, index sum and
+// a random linear fingerprint, all linear in the underlying vector — stored
+// as three consecutive machine words. The counter word holds an int64 bit
+// pattern; isum and fp are elements of F_p.
+const (
+	cellWords = 3
+	offCount  = 0
+	offIsum   = 1
+	offFp     = 2
+)
 
-// cellWords is the memory footprint of one cell in machine words.
-const cellWords = 3
+func cellZero(w []uint64) bool { return w[offCount]|w[offIsum]|w[offFp] == 0 }
 
-func (c *cell) zero() bool { return c.count == 0 && c.isum == 0 && c.fp == 0 }
-
-func (c *cell) update(idx, hfp uint64, delta int) {
-	c.count += int64(delta)
+func cellUpdate(w []uint64, idx, hfp uint64, delta int) {
+	w[offCount] = uint64(int64(w[offCount]) + int64(delta))
 	if delta > 0 {
-		c.isum = addModP(c.isum, idx%hash.Prime)
-		c.fp = addModP(c.fp, hfp)
+		w[offIsum] = addModP(w[offIsum], idx%hash.Prime)
+		w[offFp] = addModP(w[offFp], hfp)
 	} else {
-		c.isum = subModP(c.isum, idx%hash.Prime)
-		c.fp = subModP(c.fp, hfp)
+		w[offIsum] = subModP(w[offIsum], idx%hash.Prime)
+		w[offFp] = subModP(w[offFp], hfp)
 	}
-}
-
-func (c *cell) add(o cell) {
-	c.count += o.count
-	c.isum = addModP(c.isum, o.isum)
-	c.fp = addModP(c.fp, o.fp)
 }
 
 func addModP(a, b uint64) uint64 {
@@ -91,16 +104,16 @@ func subModP(a, b uint64) uint64 {
 	return a + hash.Prime - b
 }
 
-// recover attempts one-sparse recovery. It succeeds only when the cell
-// contains exactly one coordinate with value ±1 (the only values arising
-// from simple-graph incidence vectors), verified against the fingerprint,
-// so false positives occur with probability at most 1/Prime.
-func (c *cell) recover(fpHash *hash.Family, idSpace uint64) (idx uint64, ok bool) {
-	switch c.count {
+// cellRecover attempts one-sparse recovery on the cell at w. It succeeds
+// only when the cell contains exactly one coordinate with value ±1 (the only
+// values arising from simple-graph incidence vectors), verified against the
+// fingerprint, so false positives occur with probability at most 1/Prime.
+func cellRecover(w []uint64, fpHash *hash.Family, idSpace uint64) (idx uint64, ok bool) {
+	switch int64(w[offCount]) {
 	case 1:
-		idx = c.isum
+		idx = w[offIsum]
 	case -1:
-		idx = subModP(0, c.isum)
+		idx = subModP(0, w[offIsum])
 	default:
 		return 0, false
 	}
@@ -108,10 +121,10 @@ func (c *cell) recover(fpHash *hash.Family, idSpace uint64) (idx uint64, ok bool
 		return 0, false
 	}
 	want := fpHash.Hash(idx)
-	if c.count == -1 {
+	if int64(w[offCount]) == -1 {
 		want = subModP(0, want)
 	}
-	if c.fp != want {
+	if w[offFp] != want {
 		return 0, false
 	}
 	return idx, true
@@ -124,8 +137,10 @@ type Space struct {
 	idSpace uint64
 	t       int
 	levels  int
+	stride  int // SketchWords(), cached
 	levelH  []*hash.Family
 	fpH     []*hash.Family
+	scratch sync.Pool // *[]uint64 of stride words, see Scratch/Release
 }
 
 // NewSpace creates a space for vectors indexed by [0, idSpace) with t
@@ -145,11 +160,16 @@ func NewSpace(idSpace uint64, t int, prg *hash.PRG) *Space {
 		}
 	}
 	s := &Space{idSpace: idSpace, t: t, levels: levels}
+	s.stride = t * (levels + 1) * cellWords
 	s.levelH = make([]*hash.Family, t)
 	s.fpH = make([]*hash.Family, t)
 	for i := 0; i < t; i++ {
 		s.levelH[i] = hash.NewFourwise(prg)
 		s.fpH[i] = hash.NewFourwise(prg)
+	}
+	s.scratch.New = func() any {
+		buf := make([]uint64, s.stride)
+		return &buf
 	}
 	return s
 }
@@ -168,28 +188,73 @@ func (s *Space) Levels() int { return s.levels }
 
 // SketchWords returns the size in machine words of one sketch from this
 // space; it is O(log^2 N) words: t copies of (levels+1) cells.
-func (s *Space) SketchWords() int { return s.t * (s.levels + 1) * cellWords }
+func (s *Space) SketchWords() int { return s.stride }
 
 // Sketch is a linear ℓ0-sampling sketch of a vector in {-1,0,+1}^idSpace.
-// The zero value is not usable; create sketches with Space.NewSketch.
+// It is a view: a Space pointer plus the SketchWords() backing words, which
+// may live in an Arena, a standalone allocation, or a pooled scratch buffer.
+// Copying a Sketch value aliases the same cells; use Clone for an
+// independent copy. The zero value is not usable; see Valid.
 type Sketch struct {
 	space *Space
-	cells []cell // t * (levels+1), row-major by copy
+	cells []uint64
 }
 
-// NewSketch returns a sketch of the zero vector.
-func (s *Space) NewSketch() *Sketch {
-	return &Sketch{space: s, cells: make([]cell, s.t*(s.levels+1))}
+// NewSketch returns a standalone sketch of the zero vector (one allocation).
+func (s *Space) NewSketch() Sketch {
+	return Sketch{space: s, cells: make([]uint64, s.stride)}
+}
+
+// Scratch returns a zeroed sketch whose backing comes from the space's
+// sync.Pool. It serves the transient merge-and-query work of the recovery
+// paths (summing fragment or supernode sketches before Query) without
+// allocating at steady state. The caller must hand the sketch back with
+// Release once done and must not use it afterwards.
+func (s *Space) Scratch() Sketch {
+	buf := s.scratch.Get().(*[]uint64)
+	clear(*buf)
+	return Sketch{space: s, cells: *buf}
+}
+
+// Release returns a Scratch-obtained sketch to the pool. Releasing a sketch
+// that is still referenced — or one backed by an Arena — corrupts whoever
+// still holds the cells; only pass sketches obtained from Scratch whose last
+// use has passed.
+func (s *Space) Release(sk Sketch) {
+	if sk.space != s {
+		panic("sketch: Release of a sketch from a different space")
+	}
+	cells := sk.cells
+	s.scratch.Put(&cells)
 }
 
 // Space returns the space the sketch belongs to.
-func (sk *Sketch) Space() *Space { return sk.space }
+func (sk Sketch) Space() *Space { return sk.space }
+
+// Valid reports whether the view is usable (the zero Sketch is not).
+func (sk Sketch) Valid() bool { return sk.space != nil }
 
 // Words returns the sketch's size in machine words.
-func (sk *Sketch) Words() int { return len(sk.cells) * cellWords }
+func (sk Sketch) Words() int { return len(sk.cells) }
+
+// Cells exposes the raw backing words for codec use (encoding a sketch into
+// a message frame). The slice must be treated as the sketch's private state:
+// mutating it directly bypasses the cell invariants.
+func (sk Sketch) Cells() []uint64 { return sk.cells }
+
+// View wraps raw backing words (for example a decoded message frame) as a
+// sketch of this space. The slice must be exactly SketchWords() long and
+// must contain cell words previously produced by sketches of an identical
+// space (same idSpace, copies, and PRG draws).
+func (s *Space) View(cells []uint64) Sketch {
+	if len(cells) != s.stride {
+		panic(fmt.Sprintf("sketch: view of %d words, stride %d", len(cells), s.stride))
+	}
+	return Sketch{space: s, cells: cells}
+}
 
 // Update applies X[idx] += delta; delta must be +1 or -1.
-func (sk *Sketch) Update(idx uint64, delta int) {
+func (sk Sketch) Update(idx uint64, delta int) {
 	if delta != 1 && delta != -1 {
 		panic(fmt.Sprintf("sketch: delta %d", delta))
 	}
@@ -200,42 +265,64 @@ func (sk *Sketch) Update(idx uint64, delta int) {
 	for c := 0; c < sk.space.t; c++ {
 		lvl := sk.space.levelH[c].Level(idx, L)
 		hfp := sk.space.fpH[c].Hash(idx)
-		base := c * (L + 1)
+		base := c * (L + 1) * cellWords
 		// Design: level l holds all items whose sampling level is >= l, so
 		// level 0 always holds the full vector and level l subsamples with
 		// probability 2^-l.
 		for l := 0; l <= lvl; l++ {
-			sk.cells[base+l].update(idx, hfp, delta)
+			cellUpdate(sk.cells[base+l*cellWords:], idx, hfp, delta)
 		}
 	}
 }
 
 // Add merges other into sk cell-wise. Both sketches must come from the same
 // Space; afterwards sk summarizes the sum of the two vectors.
-func (sk *Sketch) Add(other *Sketch) {
+func (sk Sketch) Add(other Sketch) {
 	if sk.space != other.space {
 		panic("sketch: adding sketches from different spaces")
 	}
-	for i := range sk.cells {
-		sk.cells[i].add(other.cells[i])
+	a, b := sk.cells, other.cells
+	for i := 0; i < len(a); i += cellWords {
+		// Two's-complement wrap-around makes uint64 addition exactly the
+		// int64 counter addition of the original cell representation.
+		a[i+offCount] += b[i+offCount]
+		a[i+offIsum] = addModP(a[i+offIsum], b[i+offIsum])
+		a[i+offFp] = addModP(a[i+offFp], b[i+offFp])
 	}
 }
 
-// Clone returns a deep copy of the sketch.
-func (sk *Sketch) Clone() *Sketch {
-	c := &Sketch{space: sk.space, cells: make([]cell, len(sk.cells))}
+// CopyFrom overwrites sk's cells with other's. Both must share a Space.
+func (sk Sketch) CopyFrom(other Sketch) {
+	if sk.space != other.space {
+		panic("sketch: copying a sketch from a different space")
+	}
+	copy(sk.cells, other.cells)
+}
+
+// Zero resets the sketch to the zero vector in place.
+func (sk Sketch) Zero() { clear(sk.cells) }
+
+// Clone returns an independent deep copy of the sketch (one allocation; for
+// an allocation-free transient copy use Space.Scratch plus CopyFrom).
+func (sk Sketch) Clone() Sketch {
+	c := Sketch{space: sk.space, cells: make([]uint64, len(sk.cells))}
 	copy(c.cells, sk.cells)
 	return c
 }
 
 // Sum returns a fresh sketch equal to the cell-wise sum of the arguments,
-// which must be non-empty and share a Space.
-func Sum(sketches ...*Sketch) *Sketch {
+// which must be non-empty and share a Space. Each operand's space is checked
+// against the first operand's, and a mismatch names the offending argument
+// index.
+func Sum(sketches ...Sketch) Sketch {
 	if len(sketches) == 0 {
 		panic("sketch: Sum of nothing")
 	}
 	out := sketches[0].Clone()
-	for _, s := range sketches[1:] {
+	for i, s := range sketches[1:] {
+		if s.space != out.space {
+			panic(fmt.Sprintf("sketch: Sum argument %d is from a different space than argument 0", i+1))
+		}
 		out.Add(s)
 	}
 	return out
@@ -246,19 +333,19 @@ func Sum(sketches ...*Sketch) *Sketch {
 // querying different copies for the same vector boosts success. Copies
 // consumed by one Borůvka-style round must not be reused in later rounds of
 // the same extraction (the vector then depends on the copy's randomness).
-func (sk *Sketch) Query(c int) (idx uint64, res QueryResult) {
+func (sk Sketch) Query(c int) (idx uint64, res QueryResult) {
 	if c < 0 || c >= sk.space.t {
 		panic(fmt.Sprintf("sketch: copy %d of %d", c, sk.space.t))
 	}
 	L := sk.space.levels
-	base := c * (L + 1)
-	if sk.cells[base].zero() {
+	base := c * (L + 1) * cellWords
+	if cellZero(sk.cells[base:]) {
 		return 0, Empty
 	}
 	// Scan from the sparsest level down; the first one-sparse cell yields
 	// the sample.
 	for l := L; l >= 0; l-- {
-		if idx, ok := sk.cells[base+l].recover(sk.space.fpH[c], sk.space.idSpace); ok {
+		if idx, ok := cellRecover(sk.cells[base+l*cellWords:], sk.space.fpH[c], sk.space.idSpace); ok {
 			return idx, Found
 		}
 	}
@@ -267,7 +354,7 @@ func (sk *Sketch) Query(c int) (idx uint64, res QueryResult) {
 
 // QueryAny tries all copies starting from startCopy and returns the first
 // decisive outcome. It reports Fail only if every copy fails.
-func (sk *Sketch) QueryAny(startCopy int) (idx uint64, res QueryResult) {
+func (sk Sketch) QueryAny(startCopy int) (idx uint64, res QueryResult) {
 	t := sk.space.t
 	for off := 0; off < t; off++ {
 		c := (startCopy + off) % t
@@ -294,24 +381,35 @@ func EdgeSign(w int, e graph.Edge) int {
 	}
 }
 
-// VertexSketch is an AGM sketch of the incidence vector X_v of one vertex.
+// VertexSketch is an AGM sketch of the incidence vector X_v of one vertex:
+// a Sketch view plus the vertex count needed to map edges to coordinates.
+// Like Sketch it is a value; copying it aliases the same cells.
 type VertexSketch struct {
-	*Sketch
+	Sketch
 	n int
 }
 
 // NewVertexSketch returns the sketch of an isolated vertex in a graph on n
 // vertices. space must have been built over id space n^2.
-func NewVertexSketch(space *Space, n int) *VertexSketch {
+func NewVertexSketch(space *Space, n int) VertexSketch {
 	if space.idSpace != graph.IDSpace(n) {
 		panic("sketch: space does not match vertex count")
 	}
-	return &VertexSketch{Sketch: space.NewSketch(), n: n}
+	return VertexSketch{Sketch: space.NewSketch(), n: n}
+}
+
+// VertexView wraps an existing sketch view (typically an Arena slot) as the
+// vertex sketch of a graph on n vertices.
+func VertexView(sk Sketch, n int) VertexSketch {
+	if sk.space.idSpace != graph.IDSpace(n) {
+		panic("sketch: space does not match vertex count")
+	}
+	return VertexSketch{Sketch: sk, n: n}
 }
 
 // ApplyEdge updates the sketch of vertex w for an insertion (op =
 // graph.Insert) or deletion of edge e incident to w.
-func (vs *VertexSketch) ApplyEdge(w int, e graph.Edge, op graph.Op) {
+func (vs VertexSketch) ApplyEdge(w int, e graph.Edge, op graph.Op) {
 	sign := EdgeSign(w, e)
 	if op == graph.Delete {
 		sign = -sign
@@ -322,7 +420,7 @@ func (vs *VertexSketch) ApplyEdge(w int, e graph.Edge, op graph.Op) {
 // QueryEdge recovers an edge of the cut around the sketched vertex set using
 // copy c. The sign of the recovered coordinate is immaterial: coordinate
 // indices identify edges directly.
-func (vs *VertexSketch) QueryEdge(c int) (graph.Edge, QueryResult) {
+func (vs VertexSketch) QueryEdge(c int) (graph.Edge, QueryResult) {
 	idx, res := vs.Query(c)
 	if res != Found {
 		return graph.Edge{}, res
@@ -331,12 +429,12 @@ func (vs *VertexSketch) QueryEdge(c int) (graph.Edge, QueryResult) {
 }
 
 // CloneVertex returns a deep copy preserving the vertex-sketch wrapper.
-func (vs *VertexSketch) CloneVertex() *VertexSketch {
-	return &VertexSketch{Sketch: vs.Sketch.Clone(), n: vs.n}
+func (vs VertexSketch) CloneVertex() VertexSketch {
+	return VertexSketch{Sketch: vs.Sketch.Clone(), n: vs.n}
 }
 
 // AddVertex merges another vertex sketch into vs; the result summarizes
 // X_A for the union of the underlying vertex sets.
-func (vs *VertexSketch) AddVertex(other *VertexSketch) {
+func (vs VertexSketch) AddVertex(other VertexSketch) {
 	vs.Add(other.Sketch)
 }

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -269,7 +270,7 @@ func TestVertexSketchCutRecovery(t *testing.T) {
 	// recovers exactly the single cut edge {1,2}.
 	const n = 16
 	sp := NewGraphSpace(n, 12, hash.NewPRG(14))
-	vs := make([]*VertexSketch, n)
+	vs := make([]VertexSketch, n)
 	for v := range vs {
 		vs[v] = NewVertexSketch(sp, n)
 	}
@@ -302,7 +303,7 @@ func TestVertexSketchInternalEdgesCancel(t *testing.T) {
 	// A = {0,1,2,3} holding a path 0-1-2-3 has an empty cut.
 	const n = 8
 	sp := NewGraphSpace(n, 8, hash.NewPRG(15))
-	vs := make([]*VertexSketch, n)
+	vs := make([]VertexSketch, n)
 	for v := range vs {
 		vs[v] = NewVertexSketch(sp, n)
 	}
@@ -341,6 +342,57 @@ func TestNewVertexSketchSpaceMismatchPanics(t *testing.T) {
 func TestQueryResultString(t *testing.T) {
 	if Empty.String() != "empty" || Found.String() != "found" || Fail.String() != "fail" {
 		t.Error("QueryResult.String wrong")
+	}
+}
+
+// TestSumSpaceMismatch pins the Sum space check: every operand is checked
+// against argument 0, and the panic names the index of the offending
+// argument (a mismatch used to surface as a generic Add panic attributing
+// the wrong operand).
+func TestSumSpaceMismatch(t *testing.T) {
+	spA := newTestSpace(256, 4, 21)
+	spB := newTestSpace(256, 4, 22)
+	mk := func(spaces ...*Space) []Sketch {
+		out := make([]Sketch, len(spaces))
+		for i, sp := range spaces {
+			out[i] = sp.NewSketch()
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		args    []Sketch
+		wantArg string // "" means no panic expected
+	}{
+		{"all same", mk(spA, spA, spA), ""},
+		{"second mismatched", mk(spA, spB, spA), "argument 1"},
+		{"third mismatched", mk(spA, spA, spB), "argument 2"},
+		{"fifth mismatched", mk(spA, spA, spA, spA, spB), "argument 4"},
+		{"first two swapped spaces", mk(spB, spA), "argument 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.wantArg == "" {
+					if r != nil {
+						t.Fatalf("unexpected panic: %v", r)
+					}
+					return
+				}
+				if r == nil {
+					t.Fatalf("Sum over mismatched spaces did not panic")
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %T, want string", r)
+				}
+				if !strings.Contains(msg, tc.wantArg) || !strings.Contains(msg, "argument 0") {
+					t.Fatalf("panic %q does not name %s against argument 0", msg, tc.wantArg)
+				}
+			}()
+			Sum(tc.args...)
+		})
 	}
 }
 

@@ -1,0 +1,109 @@
+// Package sketchcodec moves sketches over the MPC simulator in batched
+// binary form. It is the glue between the flat sketch representation
+// (sketch.Arena / sketch.Sketch views, which expose their cells as raw
+// words) and the mpc.MessageBatch codec: per-label sketch partials are
+// encoded as [label, cells...] frames, merged frame-wise at the internal
+// nodes of the aggregation tree, and decoded in place at the coordinator as
+// views into the final batch buffer — no per-sketch heap objects, no
+// interface-wrapped maps, and no allocation beyond the pooled batch
+// buffers.
+package sketchcodec
+
+import (
+	"sort"
+
+	"repro/internal/mpc"
+	"repro/internal/sketch"
+)
+
+// AggregateByLabel tree-combines per-label sketch sums to machine `to` and
+// returns them decoded, keyed by label. collect runs on every machine and
+// feeds each (label, sketch) contribution to add; contributions to the same
+// label are summed (cell-wise, exactly commutative, so the fold order never
+// shows in the result). Labels must be non-negative.
+//
+// The per-machine accumulation uses the space's scratch pool and the
+// in-flight payloads use pooled message batches, so the steady-state sketch
+// merge path of the recovery queries allocates only map headers. The
+// returned sketches are views into the final batch buffer; they stay valid
+// as long as the caller holds them (the final buffer is intentionally not
+// returned to the pool).
+func AggregateByLabel(
+	cl *mpc.Cluster,
+	to int,
+	space *sketch.Space,
+	collect func(mm *mpc.Machine, add func(label int, sk sketch.Sketch)),
+) map[int]sketch.Sketch {
+	stride := space.SketchWords()
+	res := cl.Aggregate(to,
+		func(mm *mpc.Machine) mpc.Sized {
+			var labels []int
+			acc := map[int]sketch.Sketch{}
+			collect(mm, func(label int, sk sketch.Sketch) {
+				if cur, ok := acc[label]; ok {
+					cur.Add(sk)
+					return
+				}
+				s := space.Scratch()
+				s.CopyFrom(sk)
+				acc[label] = s
+				labels = append(labels, label)
+			})
+			if len(labels) == 0 {
+				return nil
+			}
+			sort.Ints(labels)
+			b := mpc.AcquireMessageBatch()
+			for _, l := range labels {
+				f := b.Grow(1 + stride)
+				f[0] = uint64(l)
+				copy(f[1:], acc[l].Cells())
+				space.Release(acc[l])
+			}
+			return b
+		},
+		func(a, b mpc.Sized) mpc.Sized {
+			ab, bb := a.(*mpc.MessageBatch), b.(*mpc.MessageBatch)
+			out := mergeSorted(space, ab, bb)
+			ab.Release()
+			bb.Release()
+			return out
+		},
+	)
+	if res == nil {
+		return map[int]sketch.Sketch{}
+	}
+	final := res.(*mpc.MessageBatch)
+	out := make(map[int]sketch.Sketch, final.Len())
+	for f := range final.Frames {
+		out[int(f[0])] = space.View(f[1:])
+	}
+	return out
+}
+
+// mergeSorted merge-joins two label-sorted sketch batches into a fresh
+// pooled batch: distinct labels are copied through, equal labels are summed
+// cell-wise in the output frame.
+func mergeSorted(space *sketch.Space, a, b *mpc.MessageBatch) *mpc.MessageBatch {
+	out := mpc.AcquireMessageBatch()
+	ca, cb := a.Cursor(), b.Cursor()
+	fa, oka := ca.Next()
+	fb, okb := cb.Next()
+	for oka || okb {
+		switch {
+		case !okb || (oka && fa[0] < fb[0]):
+			copy(out.Grow(len(fa)), fa)
+			fa, oka = ca.Next()
+		case !oka || fb[0] < fa[0]:
+			copy(out.Grow(len(fb)), fb)
+			fb, okb = cb.Next()
+		default:
+			f := out.Grow(len(fa))
+			copy(f, fa)
+			space.View(f[1:]).Add(space.View(fb[1:]))
+			fa, oka = ca.Next()
+			fb, okb = cb.Next()
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Command benchdiff is the benchmark regression gate: it compares the
+// output of `go test -bench -benchmem` against the checked-in baseline
+// (BENCH_sketch.json at the repository root) and exits non-zero when any
+// benchmark regresses beyond the configured ratios — by default >15% on
+// ns/op and >15% on B/op or allocs/op, the thresholds the CI gate enforces
+// for the sketch/mpc hot-path benchmarks. A baseline of 0 B/op is a
+// zero-allocation contract: any allocation at all fails the gate.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | tee bench.txt
+//	go run ./scripts/benchdiff.go -baseline BENCH_sketch.json bench.txt
+//
+// Refresh the baseline after an intentional performance change with:
+//
+//	go run ./scripts/benchdiff.go -baseline BENCH_sketch.json -update bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded profile.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the on-disk schema of BENCH_sketch.json.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` output lines, e.g.
+// BenchmarkSketchUpdate-8   123456   987.6 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := out[m[1]] // keep last occurrence per name
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+// check compares one metric against its baseline under a max ratio; a zero
+// baseline demands an exact zero (the zero-allocation contract).
+func check(name, metric string, base, got, ratio float64) error {
+	if ratio <= 0 {
+		return nil // metric disabled
+	}
+	if base == 0 {
+		if got != 0 {
+			return fmt.Errorf("%s: %s regressed: baseline 0, got %g (zero-allocation contract)", name, metric, got)
+		}
+		return nil
+	}
+	if got > base*ratio {
+		return fmt.Errorf("%s: %s regressed %.1f%%: baseline %g, got %g (max +%.0f%%)",
+			name, metric, 100*(got/base-1), base, got, 100*(ratio-1))
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_sketch.json", "baseline JSON file")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+	nsRatio := flag.Float64("ns-ratio", 1.15, "max allowed ns/op ratio vs baseline (0 disables; CI uses a looser value on shared runners)")
+	memRatio := flag.Float64("mem-ratio", 1.15, "max allowed B/op and allocs/op ratio vs baseline")
+	note := flag.String("note", "", "note to store when updating the baseline")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: got}
+		if b.Note == "" {
+			b.Note = "regenerate: go test -run '^$' -bench <set> -benchmem | go run ./scripts/benchdiff.go -update"
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			fmt.Printf("benchdiff: %s missing from bench output (skipped)\n", name)
+			continue
+		}
+		compared++
+		for _, err := range []error{
+			check(name, "ns/op", b.NsPerOp, g.NsPerOp, *nsRatio),
+			check(name, "B/op", b.BytesPerOp, g.BytesPerOp, *memRatio),
+			check(name, "allocs/op", b.AllocsPerOp, g.AllocsPerOp, *memRatio),
+		} {
+			if err != nil {
+				failures = append(failures, err.Error())
+			}
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no baseline benchmarks present in the bench output"))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within budget (ns/op ratio %.2f, mem ratio %.2f)\n", compared, *nsRatio, *memRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff: "+err.Error())
+	os.Exit(2)
+}
