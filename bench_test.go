@@ -126,6 +126,13 @@ func BenchmarkE14ScenarioSweep(b *testing.B) {
 	}
 }
 
+func BenchmarkE15QueryThroughput(b *testing.B) {
+	printOnce(b, experiments.E15QueryThroughput([]int{64, 128, 256}, 8, 1024, 15))
+	for i := 0; i < b.N; i++ {
+		experiments.E15QueryThroughput([]int{64}, 4, 128, uint64(i))
+	}
+}
+
 // BenchmarkBatchApplyThroughput times raw update throughput of the core
 // algorithm (wall-clock of the simulator, not an MPC metric; useful for
 // tracking implementation regressions).

@@ -1,4 +1,4 @@
-// Command experiments regenerates every experiment table (E1–E14; see
+// Command experiments regenerates every experiment table (E1–E15; see
 // README.md "Experiments").
 //
 // Usage:
@@ -31,6 +31,8 @@ func main() {
 		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU)")
 	scenario := flag.String("scenario", "",
 		fmt.Sprintf("comma-separated scenarios for the E14 sweep (default all; have %v)", workload.Names()))
+	queries := flag.Int("queries", 0,
+		"query batch size for the E15 query-throughput experiment (0 = 1024, or 256 with -quick)")
 	flag.Parse()
 	experiments.Parallelism = *parallelism
 
@@ -120,10 +122,20 @@ func main() {
 	run("E14", func() *experiments.Table {
 		return experiments.E14ScenarioSweep(msfSizes[0], batches, scenarios, 14)
 	})
+	run("E15", func() *experiments.Table {
+		q := *queries
+		if q <= 0 {
+			q = 1024
+			if *quick {
+				q = 256
+			}
+		}
+		return experiments.E15QueryThroughput(sizes[:len(sizes)-1], batches, q, 15)
+	})
 	if len(want) > 0 {
 		for id := range want {
 			switch id {
-			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14":
+			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
 				os.Exit(2)

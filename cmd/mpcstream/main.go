@@ -9,6 +9,7 @@
 //	mpcstream -algo matching -n 128 -alpha 4
 //	mpcstream -algo connectivity -stream trace.txt
 //	mpcstream -algo connectivity -n 4096 -parallelism 8
+//	mpcstream -algo connectivity -n 1024 -queries 512
 //	mpcstream -algo nowickionak -scenario bursty -n 256
 //
 // Algorithms: connectivity, msf (exact, insertion-only), approxmsf,
@@ -19,7 +20,10 @@
 // differential harness: every batch is cross-checked against the
 // brute-force oracle and the run fails loudly on divergence. -parallelism
 // selects the simulator's execution engine (worker-pool rounds); results
-// and reported statistics are identical at every setting.
+// and reported statistics are identical at every setting. -queries turns
+// the connectivity run into a read/write mix: after every update batch the
+// given number of connectivity queries is answered through one batched
+// ConnectedAll collective, oracle-verified, and reported as rounds/query.
 package main
 
 import (
@@ -51,12 +55,20 @@ func main() {
 	maxWeight := flag.Int64("maxweight", 64, "maximum edge weight")
 	insertBias := flag.Float64("insertbias", 0.6, "probability of keeping an existing edge")
 	streamFile := flag.String("stream", "", "replay updates from a streamio-format file")
+	queries := flag.Int("queries", 0,
+		"read/write mix: issue this many batched connectivity queries after every update batch (-algo connectivity; answers are oracle-verified)")
 	scenario := flag.String("scenario", "",
 		fmt.Sprintf("run a registered workload scenario under the differential harness (have %v)", workload.Names()))
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU); results are identical at every setting")
 	flag.Parse()
 
+	if *queries > 0 && (*streamFile != "" || *scenario != "") {
+		// Fail loudly rather than silently running a write-only stream: the
+		// read/write mix is only wired into the generated-stream mode.
+		fmt.Fprintln(os.Stderr, "mpcstream: -queries is only supported in the generated-stream mode (not with -stream or -scenario)")
+		os.Exit(2)
+	}
 	var err error
 	switch {
 	case *streamFile != "":
@@ -67,7 +79,7 @@ func main() {
 			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight,
 		})
 	default:
-		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism)
+		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
@@ -86,22 +98,52 @@ func runScenario(algo, scenario string, opt harness.Options) error {
 	return nil
 }
 
-func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism int) error {
+func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism, queries int) error {
 	cfg := core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism}
 	gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, MaxWeight: maxWeight, InsertBias: insertBias})
+	if queries > 0 && algo != "connectivity" {
+		return fmt.Errorf("-queries requires -algo connectivity, got %q", algo)
+	}
 	switch algo {
 	case "connectivity":
 		dc, err := core.NewDynamicConnectivity(cfg)
 		if err != nil {
 			return err
 		}
+		mix := workload.NewQueryMix(gen, n, seed+2)
+		queryRounds, answered, connected := 0, 0, 0
 		for i := 0; i < batches; i++ {
-			if err := dc.ApplyBatch(gen.Next(dc.MaxBatch())); err != nil {
+			if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
 				return err
 			}
+			if queries == 0 {
+				continue
+			}
+			raw := mix.NextQueries(queries)
+			pairs := make([]core.Pair, len(raw))
+			for j, q := range raw {
+				pairs[j] = core.Pair{U: q[0], V: q[1]}
+			}
+			before := dc.Cluster().Stats().Rounds
+			ans := dc.ConnectedAll(pairs)
+			queryRounds += dc.Cluster().Stats().Rounds - before
+			want := mix.OracleAnswers(raw)
+			for j := range ans {
+				if ans[j] != want[j] {
+					return fmt.Errorf("batch %d: query %v answered %v, oracle %v", i, raw[j], ans[j], want[j])
+				}
+				if ans[j] {
+					connected++
+				}
+			}
+			answered += len(ans)
 		}
 		fmt.Printf("components: %d (oracle %d)\n", dc.NumComponents(), oracle.NumComponents(gen.Mirror()))
 		fmt.Printf("forest edges: %d\n", len(dc.SnapshotForest()))
+		if answered > 0 {
+			fmt.Printf("queries: %d batched, %d connected, %d query rounds (%.4f rounds/query, oracle-verified)\n",
+				answered, connected, queryRounds, float64(queryRounds)/float64(answered))
+		}
 		report(dc.Cluster().Stats(), batches)
 	case "msf":
 		m, err := msf.NewExactMSF(cfg)

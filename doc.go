@@ -17,4 +17,15 @@
 // profile is locked in by allocation-budget tests and the benchmark
 // baseline BENCH_sketch.json, gated in CI by scripts/benchdiff.go (see
 // README.md "Performance").
+//
+// The query path is batched and cached to match: mpc.Cluster.AggregateBatches
+// tree-combines key-sorted frame batches (the flat counterpart of the map
+// payloads it retired), core exposes ConnectedAll / ComponentsOf and their
+// allocation-free Into variants so N connectivity queries cost one
+// O(1/phi)-round collective, and a coordinator label cache — invalidated
+// automatically by updates — answers repeated queries between updates with
+// zero MPC rounds and zero allocations. workload.QueryMix generates
+// read/write-mix streams, mpcstream -queries drives them oracle-verified,
+// and the E15 table plus the gated rounds/query benchmark metric keep the
+// round complexity from regressing (see README.md "Query API").
 package repro

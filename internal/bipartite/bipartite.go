@@ -72,7 +72,9 @@ func (t *Tester) ApplyBatch(b graph.Batch) error {
 }
 
 // IsBipartite answers the maintained query: G is bipartite iff
-// cc(G') == 2*cc(G). Both counts are O(1/φ)-round MPC queries.
+// cc(G') == 2*cc(G). Both counts are O(1/φ)-round MPC queries, cached by
+// their connectivity instances between updates, so repeated readouts
+// between batches cost zero rounds.
 func (t *Tester) IsBipartite() bool {
 	return t.cover.NumComponents() == 2*t.g.NumComponents()
 }

@@ -333,14 +333,14 @@ func (dc *DynamicConnectivity) findReplacements() ([]graph.Edge, error) {
 	return replacements, nil
 }
 
-// Connected reports whether u and v are currently in the same component
-// (an O(1/φ)-round MPC query).
-func (dc *DynamicConnectivity) Connected(u, v int) bool {
-	labels := dc.f.Components([]int{u, v})
-	return labels[u] == labels[v]
-}
+// Connected reports whether u and v are currently in the same component:
+// an O(1/φ)-round MPC query on a label-cache miss, zero rounds between
+// updates once both endpoints are cached. Batches of queries should use
+// ConnectedAll, which resolves all misses in one collective.
+func (dc *DynamicConnectivity) Connected(u, v int) bool { return dc.f.Connected(u, v) }
 
-// NumComponents counts the current components.
+// NumComponents counts the current components (cached between updates, so
+// repeated readouts cost zero rounds).
 func (dc *DynamicConnectivity) NumComponents() int { return dc.f.NumComponents() }
 
 // SnapshotComponents reads out all component labels (driver-level readout).

@@ -1,0 +1,123 @@
+package core
+
+// The batched query engine. PR 3 made the update path allocation-free; this
+// file is the query-path counterpart: N point queries become one broadcast
+// plus one flat-frame aggregation (O(1/φ) rounds total instead of N
+// collectives), and the coordinator label cache answers repeated queries
+// between updates with zero MPC rounds. The Into variants write into
+// caller-provided buffers, so a warm steady-state query performs zero
+// allocations (see the AllocsPerRun gates in query_test.go).
+
+// Pair is one connectivity query: "are U and V in the same component?".
+type Pair struct{ U, V int }
+
+// ComponentsOf resolves the component label of every listed vertex,
+// aligned with the input. Cache misses cost one broadcast + one flat
+// aggregation for the whole batch; fully cached batches cost zero rounds.
+func (f *Forest) ComponentsOf(vertices []int) []int {
+	return f.ComponentsOfInto(nil, vertices)
+}
+
+// ComponentsOfInto is ComponentsOf appending into dst[:0] (allocation-free
+// when dst has capacity).
+func (f *Forest) ComponentsOfInto(dst []int, vertices []int) []int {
+	f.resolveLabels(vertices)
+	dst = dst[:0]
+	for _, v := range vertices {
+		dst = append(dst, f.cache.labels[v])
+	}
+	return dst
+}
+
+// ConnectedAll answers a batch of connectivity queries, aligned with the
+// input: one collective for the batch's cache misses, zero rounds when
+// warm.
+func (f *Forest) ConnectedAll(pairs []Pair) []bool {
+	return f.ConnectedAllInto(nil, pairs)
+}
+
+// ConnectedAllInto is ConnectedAll appending into dst[:0] (allocation-free
+// when dst has capacity).
+func (f *Forest) ConnectedAllInto(dst []bool, pairs []Pair) []bool {
+	f.resolvePairs(pairs)
+	dst = dst[:0]
+	for _, p := range pairs {
+		dst = append(dst, f.cache.labels[p.U] == f.cache.labels[p.V])
+	}
+	return dst
+}
+
+// Connected answers one connectivity query (a batch of one: O(1/φ) rounds
+// on a cache miss, zero rounds when both endpoints are cached).
+func (f *Forest) Connected(u, v int) bool {
+	f.resolvePairs2(u, v)
+	return f.cache.labels[u] == f.cache.labels[v]
+}
+
+// resolvePairs is resolveLabels over pair endpoints without materializing
+// an endpoint slice: it stamps misses directly into the cache's miss list.
+func (f *Forest) resolvePairs(pairs []Pair) {
+	lc := &f.cache
+	miss := lc.miss[:0]
+	for _, p := range pairs {
+		if lc.stamp[p.U] != lc.epoch {
+			lc.stamp[p.U] = lc.epoch
+			miss = append(miss, p.U)
+		}
+		if lc.stamp[p.V] != lc.epoch {
+			lc.stamp[p.V] = lc.epoch
+			miss = append(miss, p.V)
+		}
+	}
+	lc.miss = miss
+	f.resolveMisses()
+}
+
+// resolvePairs2 is resolvePairs for a single pair.
+func (f *Forest) resolvePairs2(u, v int) {
+	lc := &f.cache
+	miss := lc.miss[:0]
+	if lc.stamp[u] != lc.epoch {
+		lc.stamp[u] = lc.epoch
+		miss = append(miss, u)
+	}
+	if lc.stamp[v] != lc.epoch {
+		lc.stamp[v] = lc.epoch
+		miss = append(miss, v)
+	}
+	lc.miss = miss
+	f.resolveMisses()
+}
+
+// --- DynamicConnectivity surface -----------------------------------------
+
+// ConnectedAll answers a batch of connectivity queries in one O(1/φ)-round
+// collective (zero rounds when the label cache is warm), aligned with the
+// input.
+func (dc *DynamicConnectivity) ConnectedAll(pairs []Pair) []bool {
+	return dc.f.ConnectedAll(pairs)
+}
+
+// ConnectedAllInto is ConnectedAll appending into dst[:0]; the steady-state
+// warm path performs zero allocations.
+func (dc *DynamicConnectivity) ConnectedAllInto(dst []bool, pairs []Pair) []bool {
+	return dc.f.ConnectedAllInto(dst, pairs)
+}
+
+// ComponentsOf resolves the component labels of the listed vertices,
+// aligned with the input, in one O(1/φ)-round collective (zero rounds when
+// warm).
+func (dc *DynamicConnectivity) ComponentsOf(vertices []int) []int {
+	return dc.f.ComponentsOf(vertices)
+}
+
+// ComponentsOfInto is ComponentsOf appending into dst[:0]; the steady-state
+// warm path performs zero allocations.
+func (dc *DynamicConnectivity) ComponentsOfInto(dst []int, vertices []int) []int {
+	return dc.f.ComponentsOfInto(dst, vertices)
+}
+
+// InvalidateQueryCache drops the coordinator label cache, forcing the next
+// query batch to run its collective. Updates invalidate automatically; this
+// exists for measurement (E15 and the query benchmarks ablate the cache).
+func (dc *DynamicConnectivity) InvalidateQueryCache() { dc.f.InvalidateCache() }

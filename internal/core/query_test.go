@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// newQueryRun builds a connectivity instance plus a read/write-mix workload
+// over it.
+func newQueryRun(t testing.TB, n, parallelism int, seed uint64) (*core.DynamicConnectivity, *workload.QueryMix) {
+	t.Helper()
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: seed, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := workload.Get("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc, workload.NewQueryMix(sc.New(n, seed+1), n, seed+2)
+}
+
+// toPairs converts workload query pairs to the core query type.
+func toPairs(qs [][2]int) []core.Pair {
+	out := make([]core.Pair, len(qs))
+	for i, q := range qs {
+		out[i] = core.Pair{U: q[0], V: q[1]}
+	}
+	return out
+}
+
+// TestBatchedQueriesMatchLoopAndOracle is the batched-query property test:
+// across every scenario generator in the registry, at parallelism 1 and 8,
+// the answers of ConnectedAll / ComponentsOf must be bit-identical to a
+// per-query loop and to the brute-force oracle, before and after updates
+// (the query -> update -> query cache-invalidation edge).
+func TestBatchedQueriesMatchLoopAndOracle(t *testing.T) {
+	const n = 48
+	for _, scName := range workload.Names() {
+		for _, parallelism := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", scName, parallelism), func(t *testing.T) {
+				sc, err := workload.Get(scName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: 3, Parallelism: parallelism})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mix := workload.NewQueryMix(sc.New(n, 4), n, 5)
+				vertices := make([]int, n)
+				for v := range vertices {
+					vertices[v] = v
+				}
+				for batch := 0; batch < 6; batch++ {
+					b := mix.Next(dc.MaxBatch())
+					if len(b) > 0 {
+						if err := dc.ApplyBatch(b); err != nil {
+							t.Fatal(err)
+						}
+					}
+					pairs := toPairs(mix.NextQueries(24))
+					// Batched vs per-query loop vs oracle. The second batched
+					// call runs fully warm and must agree bit for bit.
+					batched := dc.ConnectedAll(pairs)
+					warm := dc.ConnectedAll(pairs)
+					oracleLabels := oracle.Components(mix.Mirror())
+					for i, p := range pairs {
+						loop := dc.Connected(p.U, p.V)
+						want := oracleLabels[p.U] == oracleLabels[p.V]
+						if batched[i] != want || loop != want || warm[i] != want {
+							t.Fatalf("batch %d pair %v: batched=%v warm=%v loop=%v oracle=%v",
+								batch, p, batched[i], warm[i], loop, want)
+						}
+					}
+					labels := dc.ComponentsOf(vertices)
+					if !reflect.DeepEqual(labels, oracleLabels) {
+						t.Fatalf("batch %d: ComponentsOf diverged from oracle\n got %v\nwant %v", batch, labels, oracleLabels)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueryCacheInvalidationEdge pins the query -> update -> query edge with
+// a hand-built stream: a stale cache must never survive an update that
+// changes connectivity.
+func TestQueryCacheInvalidationEdge(t *testing.T) {
+	dc, err := core.NewDynamicConnectivity(core.Config{N: 32, Phi: 0.6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(op string, u, v int) {
+		t.Helper()
+		upd := graph.Ins(u, v)
+		if op == "d" {
+			upd = graph.Del(u, v)
+		}
+		if err := dc.ApplyBatch(graph.Batch{upd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair := []core.Pair{{U: 0, V: 2}}
+	if got := dc.ConnectedAll(pair); got[0] {
+		t.Fatal("0 and 2 connected in the empty graph")
+	}
+	apply("i", 0, 1)
+	apply("i", 1, 2)
+	if got := dc.ConnectedAll(pair); !got[0] {
+		t.Fatal("0 and 2 disconnected after linking 0-1-2 (stale cache?)")
+	}
+	apply("d", 1, 2)
+	if got := dc.ConnectedAll(pair); got[0] {
+		t.Fatal("0 and 2 still connected after cutting 1-2 (stale cache?)")
+	}
+	apply("i", 0, 2)
+	if got := dc.ConnectedAll(pair); !got[0] {
+		t.Fatal("0 and 2 disconnected after re-inserting 0-2 (stale cache?)")
+	}
+}
+
+// TestBatchedQueryRounds1024 is the acceptance gate of the batched query
+// engine: at 1024 queries, one batched collective must cost at least 10x
+// fewer MPC rounds than the per-query loop, the warm (cached) repeat must
+// cost zero rounds, and the whole run's Stats must be bit-identical at
+// parallelism 1 and 8.
+func TestBatchedQueryRounds1024(t *testing.T) {
+	const n, queries = 256, 1024
+	run := func(parallelism int) (loop, batched, warm int, st mpc.Stats) {
+		dc, mix := newQueryRun(t, n, parallelism, 17)
+		for i := 0; i < 6; i++ {
+			if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pairs := toPairs(mix.NextQueries(queries))
+		rounds := func() int { return dc.Cluster().Stats().Rounds }
+		// Per-query loop: each query pays its own collective (the pre-cache
+		// regime: invalidate so no batch effect leaks in).
+		before := rounds()
+		for _, p := range pairs {
+			dc.InvalidateQueryCache()
+			dc.Connected(p.U, p.V)
+		}
+		loop = rounds() - before
+		// One batched collective, cold.
+		dc.InvalidateQueryCache()
+		before = rounds()
+		dc.ConnectedAll(pairs)
+		batched = rounds() - before
+		// Warm repeat: zero rounds.
+		before = rounds()
+		dc.ConnectedAll(pairs)
+		warm = rounds() - before
+		return loop, batched, warm, dc.Cluster().Stats()
+	}
+	loop, batched, warm, seqStats := run(1)
+	if batched == 0 || loop < 10*batched {
+		t.Errorf("per-query loop = %d rounds, batched = %d rounds; want >= 10x fewer", loop, batched)
+	}
+	if warm != 0 {
+		t.Errorf("warm batched query cost %d rounds, want 0", warm)
+	}
+	_, _, _, parStats := run(8)
+	if !reflect.DeepEqual(seqStats, parStats) {
+		t.Errorf("stats diverged across parallelism:\nseq %+v\npar %+v", seqStats, parStats)
+	}
+	t.Logf("rounds for %d queries: loop=%d batched=%d warm=%d", queries, loop, batched, warm)
+}
+
+// TestQueryAllocsWarm is the zero-allocation contract of the warm query
+// path: fully cached ConnectedAllInto and ComponentsOfInto perform zero
+// allocations.
+func TestQueryAllocsWarm(t *testing.T) {
+	dc, mix := newQueryRun(t, 96, 1, 23)
+	for i := 0; i < 4; i++ {
+		if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := toPairs(mix.NextQueries(256))
+	vertices := make([]int, 96)
+	for v := range vertices {
+		vertices[v] = v
+	}
+	ans := make([]bool, 0, len(pairs))
+	labels := make([]int, 0, len(vertices))
+	dc.ConnectedAllInto(ans, pairs) // warm the cache
+	if n := testing.AllocsPerRun(100, func() {
+		ans = dc.ConnectedAllInto(ans, pairs)
+	}); n != 0 {
+		t.Errorf("warm ConnectedAllInto allocates %.1f allocs/op, want 0", n)
+	}
+	dc.ComponentsOfInto(labels, vertices)
+	if n := testing.AllocsPerRun(100, func() {
+		labels = dc.ComponentsOfInto(labels, vertices)
+	}); n != 0 {
+		t.Errorf("warm ComponentsOfInto allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -672,3 +672,67 @@ func E14ScenarioSweep(n, batches int, scenarios []string, seed uint64) *Table {
 		"insertion-only algorithms pair only with grow* scenarios; MSF algorithms only with weighted ones")
 	return t
 }
+
+// E15QueryThroughput measures the batched query engine (the read path of
+// the read/write-mix workload): per-query-collective vs one batched
+// collective vs warm label cache, in MPC rounds per query. The batched
+// answers are cross-checked against the brute-force oracle before any
+// number is reported.
+func E15QueryThroughput(sizes []int, batches, queries int, seed uint64) *Table {
+	t := &Table{
+		Title:  "E15: query throughput, per-query loop vs batched vs label cache",
+		Header: []string{"n", "queries", "loop rds/q", "batched rds/q", "warm rds/q", "loop/batched"},
+	}
+	for _, n := range sizes {
+		dc, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
+		if err != nil {
+			panic(err)
+		}
+		gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, InsertBias: 0.6})
+		mix := workload.NewQueryMix(gen, n, seed+2)
+		for i := 0; i < batches; i++ {
+			must(dc.ApplyBatch(mix.Next(dc.MaxBatch())))
+		}
+		raw := mix.NextQueries(queries)
+		pairs := make([]core.Pair, len(raw))
+		for i, q := range raw {
+			pairs[i] = core.Pair{U: q[0], V: q[1]}
+		}
+		rounds := func() int { return dc.Cluster().Stats().Rounds }
+		// Regime 1: one collective per query (the pre-cache cost model).
+		loopRounds := batchRounds(rounds, func() {
+			for _, p := range pairs {
+				dc.InvalidateQueryCache()
+				dc.Connected(p.U, p.V)
+			}
+		})
+		// Regime 2: one batched collective for the whole query set.
+		dc.InvalidateQueryCache()
+		var batchedAns []bool
+		batchedRounds := batchRounds(rounds, func() { batchedAns = dc.ConnectedAll(pairs) })
+		// Regime 3: warm repeat against the label cache.
+		warmRounds := batchRounds(rounds, func() { dc.ConnectedAll(pairs) })
+		want := mix.OracleAnswers(raw)
+		for i := range pairs {
+			if batchedAns[i] != want[i] {
+				panic(fmt.Sprintf("E15: query %v answered %v, oracle %v", pairs[i], batchedAns[i], want[i]))
+			}
+		}
+		q := float64(queries)
+		speedup := 0.0
+		if batchedRounds > 0 {
+			speedup = float64(loopRounds) / float64(batchedRounds)
+		}
+		t.Rows = append(t.Rows, []string{
+			d(n), d(queries),
+			f2(float64(loopRounds) / q),
+			fmt.Sprintf("%.4f", float64(batchedRounds)/q),
+			fmt.Sprintf("%.4f", float64(warmRounds)/q),
+			f2(speedup),
+		})
+	}
+	t.Remarks = append(t.Remarks,
+		"claim: N queries cost one broadcast + one flat aggregation (O(1/phi) rounds total) instead of N collectives",
+		"warm repeats answer from the coordinator label cache with zero MPC rounds; every batched answer is oracle-verified")
+	return t
+}

@@ -23,8 +23,11 @@ func (o Options) coreCfg() core.Config {
 }
 
 // VerifyConnectivity cross-checks a dynamic-connectivity instance against
-// the sequential oracle: identical component labels and a valid spanning
-// forest of the mirror graph.
+// the sequential oracle with batched readouts only: one SnapshotComponents
+// readout for the full label comparison, one spanning-forest check, and one
+// ConnectedAll collective over a deterministic pair sample (never a
+// per-pair query loop), so a differential check costs O(1) collective
+// operations per batch regardless of n.
 func VerifyConnectivity(dc *core.DynamicConnectivity, g *graph.Graph) error {
 	want := oracle.Components(g)
 	got := dc.SnapshotComponents()
@@ -35,6 +38,20 @@ func VerifyConnectivity(dc *core.DynamicConnectivity, g *graph.Graph) error {
 	}
 	if !oracle.IsSpanningForest(g, dc.SnapshotForest()) {
 		return fmt.Errorf("maintained forest is not a spanning forest of the mirror")
+	}
+	// Exercise the batched query engine itself: its answers must match the
+	// oracle labels (this also covers the label cache, which the preceding
+	// snapshot does not touch).
+	n := g.N()
+	pairs := make([]core.Pair, 0, 32)
+	for i := 0; i < 16 && i+1 < n; i++ {
+		pairs = append(pairs, core.Pair{U: i, V: i + 1}, core.Pair{U: i, V: n - 1 - i})
+	}
+	for i, conn := range dc.ConnectedAll(pairs) {
+		p := pairs[i]
+		if conn != (want[p.U] == want[p.V]) {
+			return fmt.Errorf("ConnectedAll(%d, %d) = %v, oracle %v", p.U, p.V, conn, !conn)
+		}
 	}
 	return nil
 }

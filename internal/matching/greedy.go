@@ -153,39 +153,43 @@ func (g *GreedyInsertOnly) InsertBatch(edges []graph.Edge) error {
 }
 
 // queryStatus aggregates the match status of the broadcast edges'
-// endpoints.
+// endpoints as flat [vertex, match] frames (each vertex owned by exactly
+// one machine, so the sorted merge-join never combines).
 func (g *GreedyInsertOnly) queryStatus() map[int]int {
-	res := g.cl.Aggregate(g.coord,
-		func(mm *mpc.Machine) mpc.Sized {
+	res := g.cl.AggregateBatches(g.coord,
+		func(mm *mpc.Machine) *mpc.MessageBatch {
 			sh, ok := mm.Get(slotShard).(*greedyShard)
 			if !ok {
 				return nil
 			}
-			out := map[int]int{}
+			var owned []int
 			for _, e := range mm.Get(slotBcast).(edgesPayload).edges {
-				for _, v := range []int{e.U, e.V} {
+				for _, v := range [2]int{e.U, e.V} {
 					if v >= sh.lo && v < sh.hi {
-						out[v] = sh.match[v-sh.lo]
+						owned = append(owned, v)
 					}
 				}
 			}
-			if len(out) == 0 {
-				return nil
+			sort.Ints(owned)
+			b := mpc.AcquireMessageBatch()
+			for i, v := range owned {
+				if i > 0 && owned[i-1] == v {
+					continue
+				}
+				b.Append(uint64(v), uint64(int64(sh.match[v-sh.lo])))
 			}
-			return mpc.Value{V: out, N: 2 * len(out)}
+			return b
 		},
-		func(a, b mpc.Sized) mpc.Sized {
-			am := a.(mpc.Value).V.(map[int]int)
-			for k, v := range b.(mpc.Value).V.(map[int]int) {
-				am[k] = v
-			}
-			return mpc.Value{V: am, N: 2 * len(am)}
-		},
+		func(a, b *mpc.MessageBatch) *mpc.MessageBatch { return mpc.MergeSortedBatches(a, b, nil) },
 	)
-	if res == nil {
-		return map[int]int{}
+	out := map[int]int{}
+	if res != nil {
+		for f := range res.Frames {
+			out[int(f[0])] = int(int64(f[1]))
+		}
+		res.Release()
 	}
-	return res.(mpc.Value).V.(map[int]int)
+	return out
 }
 
 // Size returns the current matching size (coordinator-local).

@@ -1,0 +1,145 @@
+package mpc
+
+// Flat batched aggregation: the query-path counterpart of the MessageBatch
+// codec. Algorithms that previously funneled map[int]int partials (boxed in
+// Value payloads and merged with per-key map writes) through Aggregate now
+// contribute one label-sorted MessageBatch per machine; internal tree nodes
+// merge-join the sorted frames, and the coordinator decodes the final batch
+// in place. This is the packed-aggregation discipline of the constant-round
+// congested-clique MST line (Jurdziński–Nowicki; Nowicki): one buffer per
+// tree edge per round, no per-key heap objects.
+//
+// The tree walk reuses cluster-owned state (the per-rank accumulator slots,
+// the per-machine one-message outboxes, and a dispatch closure built once at
+// NewCluster), so a steady-state AggregateBatches allocates nothing of its
+// own beyond the pooled batch buffers its combine function acquires.
+
+// BatchCombine merges two batches into one, returning the result. It runs at
+// internal nodes of the aggregation tree and must be associative up to the
+// key order of the frames; implementations normally acquire a pooled output
+// batch and release both inputs (see MergeSortedBatches).
+type BatchCombine func(a, b *MessageBatch) *MessageBatch
+
+// aggState is the reusable scratch of AggregateBatches, owned by the
+// cluster: acc holds one accumulator batch per machine rank, outs holds one
+// single-message outbox per machine, and the remaining fields parameterize
+// the dispatch closure for the current call.
+type aggState struct {
+	acc     []*MessageBatch
+	outs    [][]Message
+	to      int
+	group   int // 0 marks the final delivery flush
+	fanout  int
+	combine BatchCombine
+}
+
+// absorb merges every delivered batch into the rank's accumulator, in inbox
+// order (ascending sender id, deterministic at every parallelism).
+func (c *Cluster) aggAbsorb(r int, inbox []Message) {
+	for _, msg := range inbox {
+		b := msg.Payload.(*MessageBatch)
+		if c.agg.acc[r] == nil {
+			c.agg.acc[r] = b
+		} else {
+			c.agg.acc[r] = c.agg.combine(c.agg.acc[r], b)
+		}
+	}
+}
+
+// aggStep is the per-round callback of AggregateBatches (one closure for
+// every round of every call; see Cluster.runAgg).
+func (c *Cluster) aggStep(m *Machine, inbox []Message) []Message {
+	M := c.cfg.Machines
+	r := (m.ID - c.agg.to + M) % M
+	c.aggAbsorb(r, inbox)
+	gs := c.agg.group
+	if gs == 0 || r%gs != 0 || r%(gs*c.agg.fanout) == 0 || c.agg.acc[r] == nil {
+		return nil
+	}
+	parent := (r - r%(gs*c.agg.fanout) + c.agg.to) % M
+	p := c.agg.acc[r]
+	c.agg.acc[r] = nil
+	out := append(c.agg.outs[m.ID][:0], Message{To: parent, Payload: p})
+	c.agg.outs[m.ID] = out
+	return out
+}
+
+// AggregateBatches tree-combines one MessageBatch per machine onto machine
+// `to` and returns the result (nil when no machine contributed). collect
+// runs on every machine in ascending id on the calling goroutine and may
+// return nil for "no contribution"; combine merges two batches at internal
+// tree nodes and at the destination, always with the lower-ranked
+// accumulator as its left operand. The fanout is sized for the largest
+// contribution, costing ceil(log_f M) rounds plus one delivery flush —
+// O(1/φ) rounds, exactly like Aggregate, but with packed frames instead of
+// boxed values.
+//
+// Ownership: contributed batches are consumed (combined batches are
+// typically released by combine); the returned batch belongs to the caller,
+// which should Release it after decoding.
+func (c *Cluster) AggregateBatches(to int, collect func(m *Machine) *MessageBatch, combine BatchCombine) *MessageBatch {
+	M := c.cfg.Machines
+	maxW := 1
+	for _, m := range c.machines {
+		b := collect(m)
+		if b != nil && b.Words() == 0 {
+			b.Release()
+			b = nil
+		}
+		c.agg.acc[(m.ID-to+M)%M] = b
+		if b != nil && b.Words() > maxW {
+			maxW = b.Words()
+		}
+	}
+	c.agg.to = to
+	c.agg.fanout = c.fanout(maxW)
+	c.agg.combine = combine
+	depth := treeDepth(M, c.agg.fanout)
+	c.agg.group = 1
+	for d := 0; d < depth; d++ {
+		c.Step(c.runAgg)
+		c.agg.group *= c.agg.fanout
+	}
+	c.agg.group = 0 // delivery flush: absorb in-flight batches, send nothing
+	c.Step(c.runAgg)
+	c.agg.combine = nil
+	res := c.agg.acc[0]
+	c.agg.acc[0] = nil
+	return res
+}
+
+// MergeSortedBatches merge-joins two batches whose frames are sorted
+// ascending by their first word (the key) into a fresh pooled batch:
+// distinct keys are copied through, equal keys are handed to combine, which
+// merges the src frame into the dst frame already copied into the output.
+// Both inputs are released; neither operand is mutated in place (the
+// left-operand aliasing hazard of the retired map merge cannot arise once
+// buffers are pooled). Pass a nil combine to keep the dst frame on key
+// collisions.
+func MergeSortedBatches(a, b *MessageBatch, combine func(dst, src []uint64)) *MessageBatch {
+	out := AcquireMessageBatch()
+	ca, cb := a.Cursor(), b.Cursor()
+	fa, oka := ca.Next()
+	fb, okb := cb.Next()
+	for oka || okb {
+		switch {
+		case !okb || (oka && fa[0] < fb[0]):
+			copy(out.Grow(len(fa)), fa)
+			fa, oka = ca.Next()
+		case !oka || fb[0] < fa[0]:
+			copy(out.Grow(len(fb)), fb)
+			fb, okb = cb.Next()
+		default:
+			f := out.Grow(len(fa))
+			copy(f, fa)
+			if combine != nil {
+				combine(f, fb)
+			}
+			fa, oka = ca.Next()
+			fb, okb = cb.Next()
+		}
+	}
+	a.Release()
+	b.Release()
+	return out
+}

@@ -180,6 +180,11 @@ type Cluster struct {
 	runStep  func(i int)
 	runLocal func(i int)
 	runMeter func(i int)
+
+	// agg is the reusable scratch of AggregateBatches and runAgg its
+	// once-built per-round callback (see aggregate.go).
+	agg    aggState
+	runAgg StepFunc
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -214,6 +219,12 @@ func NewCluster(cfg Config) *Cluster {
 	c.runMeter = func(i int) {
 		c.stateWords[i] = c.machines[i].StateWords()
 	}
+	c.agg.acc = make([]*MessageBatch, cfg.Machines)
+	c.agg.outs = make([][]Message, cfg.Machines)
+	for i := range c.agg.outs {
+		c.agg.outs[i] = make([]Message, 0, 1)
+	}
+	c.runAgg = c.aggStep
 	return c
 }
 

@@ -30,6 +30,10 @@ type ExactMSF struct {
 	// fixpoint to stay exact on batches with interacting exchanges; see
 	// README.md "Deviations").
 	swapWaves int
+	// weight caches the forest weight between updates (valid iff weightOK),
+	// so repeated Weight readouts between batches cost no snapshot walk.
+	weight   int64
+	weightOK bool
 }
 
 // NewExactMSF creates the forest engine for an empty graph on cfg.N
@@ -58,6 +62,7 @@ func (m *ExactMSF) InsertBatch(edges []graph.WeightedEdge) error {
 	if len(edges) > m.f.Config().MaxBatch() {
 		return fmt.Errorf("msf: batch of %d exceeds MaxBatch %d", len(edges), m.f.Config().MaxBatch())
 	}
+	m.weightOK = false
 	pending := make([]graph.WeightedEdge, len(edges))
 	for i, e := range edges {
 		pending[i] = graph.WeightedEdge{Edge: e.Edge.Canonical(), Weight: e.Weight}
@@ -167,12 +172,18 @@ func (m *ExactMSF) InsertBatch(edges []graph.WeightedEdge) error {
 }
 
 // Weight returns the current forest weight (driver-level readout of the
-// collectively stored solution).
+// collectively stored solution), cached between insertion batches so
+// repeated readouts are free.
 func (m *ExactMSF) Weight() int64 {
+	if m.weightOK {
+		return m.weight
+	}
 	var total int64
 	for _, e := range m.f.SnapshotForest() {
 		total += e.Weight
 	}
+	m.weight = total
+	m.weightOK = true
 	return total
 }
 
@@ -256,7 +267,9 @@ func (a *ApproxMSFWeight) ApplyBatch(b graph.Batch) error {
 //
 // using the identity that an MSF has exactly cc(G_i) - cc(G) edges of
 // weight above w_i (the level-graph counting of Chazelle et al., adapted
-// from Equation (1) of the paper). Every cc is an O(1/φ)-round MPC query.
+// from Equation (1) of the paper). Every cc is an O(1/φ)-round MPC query,
+// cached per level between updates, so a repeated Weight readout between
+// batches costs zero rounds across all levels.
 func (a *ApproxMSFWeight) Weight() int64 {
 	top := len(a.levels) - 1
 	ccG := int64(a.levels[top].NumComponents())

@@ -51,6 +51,10 @@ type Matcher struct {
 	coord int
 	// retryRounds counts conflict-retry iterations across all batches.
 	retryRounds int
+	// size caches the matching size between updates (valid iff sizeOK), so
+	// repeated Size readouts cost zero rounds.
+	size   int
+	sizeOK bool
 }
 
 // Config parameterizes a Matcher.
@@ -124,6 +128,7 @@ func (m *Matcher) ApplyBatch(b graph.Batch) error {
 	if len(b) == 0 {
 		return nil
 	}
+	m.sizeOK = false
 	// Phase 1: broadcast the batch; shards update adjacency multiplicities
 	// and report (via a gather) which deleted edges vanished entirely.
 	m.cl.Broadcast(m.coord, slotBcast, batchPayload{b: b})
@@ -527,8 +532,12 @@ func (m *Matcher) Matching() []graph.Edge {
 	return out
 }
 
-// Size returns the current matching size via an O(1)-round aggregate.
+// Size returns the current matching size via an O(1)-round aggregate,
+// cached between updates (a repeated readout costs zero rounds).
 func (m *Matcher) Size() int {
+	if m.sizeOK {
+		return m.size
+	}
 	res := m.cl.Aggregate(m.coord,
 		func(mm *mpc.Machine) mpc.Sized {
 			sh := getShard(mm)
@@ -545,10 +554,12 @@ func (m *Matcher) Size() int {
 		},
 		func(a, b mpc.Sized) mpc.Sized { return mpc.Word(uint64(a.(mpc.Word)) + uint64(b.(mpc.Word))) },
 	)
-	if res == nil {
-		return 0
+	m.size = 0
+	if res != nil {
+		m.size = int(uint64(res.(mpc.Word)))
 	}
-	return int(uint64(res.(mpc.Word)))
+	m.sizeOK = true
+	return m.size
 }
 
 func uniqueInts(xs []int) []int {

@@ -35,8 +35,8 @@ func AggregateByLabel(
 	collect func(mm *mpc.Machine, add func(label int, sk sketch.Sketch)),
 ) map[int]sketch.Sketch {
 	stride := space.SketchWords()
-	res := cl.Aggregate(to,
-		func(mm *mpc.Machine) mpc.Sized {
+	final := cl.AggregateBatches(to,
+		func(mm *mpc.Machine) *mpc.MessageBatch {
 			var labels []int
 			acc := map[int]sketch.Sketch{}
 			collect(mm, func(label int, sk sketch.Sketch) {
@@ -62,48 +62,24 @@ func AggregateByLabel(
 			}
 			return b
 		},
-		func(a, b mpc.Sized) mpc.Sized {
-			ab, bb := a.(*mpc.MessageBatch), b.(*mpc.MessageBatch)
-			out := mergeSorted(space, ab, bb)
-			ab.Release()
-			bb.Release()
-			return out
+		func(a, b *mpc.MessageBatch) *mpc.MessageBatch {
+			return mpc.MergeSortedBatches(a, b, func(dst, src []uint64) {
+				space.View(dst[1:]).Add(space.View(src[1:]))
+			})
 		},
 	)
-	if res == nil {
+	if final == nil {
 		return map[int]sketch.Sketch{}
 	}
-	final := res.(*mpc.MessageBatch)
+	// Deliberate deviation from the AggregateBatches ownership contract: the
+	// final batch is NOT released, because the returned sketches are views
+	// aliasing its buffer (releasing it would let the pool recycle the words
+	// under the caller's sketches). The buffer is surrendered to the GC when
+	// the caller drops the map — one escaped buffer per replacement search,
+	// traded for zero copying of the merged sketch cells.
 	out := make(map[int]sketch.Sketch, final.Len())
 	for f := range final.Frames {
 		out[int(f[0])] = space.View(f[1:])
-	}
-	return out
-}
-
-// mergeSorted merge-joins two label-sorted sketch batches into a fresh
-// pooled batch: distinct labels are copied through, equal labels are summed
-// cell-wise in the output frame.
-func mergeSorted(space *sketch.Space, a, b *mpc.MessageBatch) *mpc.MessageBatch {
-	out := mpc.AcquireMessageBatch()
-	ca, cb := a.Cursor(), b.Cursor()
-	fa, oka := ca.Next()
-	fb, okb := cb.Next()
-	for oka || okb {
-		switch {
-		case !okb || (oka && fa[0] < fb[0]):
-			copy(out.Grow(len(fa)), fa)
-			fa, oka = ca.Next()
-		case !oka || fb[0] < fa[0]:
-			copy(out.Grow(len(fb)), fb)
-			fb, okb = cb.Next()
-		default:
-			f := out.Grow(len(fa))
-			copy(f, fa)
-			space.View(f[1:]).Add(space.View(fb[1:]))
-			fa, oka = ca.Next()
-			fb, okb = cb.Next()
-		}
 	}
 	return out
 }

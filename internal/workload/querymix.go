@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hash"
+	"repro/internal/oracle"
+)
+
+// QueryMix turns any update generator into a read/write-mix workload: the
+// update stream passes through unchanged, and NextQueries draws seeded
+// vertex-pair query batches between them. The query stream is its own PRG,
+// independent of the update stream and of algorithm state (the oblivious-
+// adversary model covers reads as well as writes), so adding or removing
+// queries never perturbs the recorded update trace.
+//
+// Queries are biased toward "interesting" answers: half the pairs are
+// drawn uniformly, half are drawn from the mirror's current edges (whose
+// endpoints are trivially connected), giving the connected/disconnected
+// split real workloads show instead of the almost-always-disconnected
+// answers of uniform sampling on sparse graphs.
+type QueryMix struct {
+	gen Generator
+	n   int
+	prg *hash.PRG
+}
+
+// NewQueryMix wraps gen (over n vertices) with a query stream drawn from
+// seed.
+func NewQueryMix(gen Generator, n int, seed uint64) *QueryMix {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: QueryMix over n = %d", n))
+	}
+	return &QueryMix{gen: gen, n: n, prg: hash.NewPRG(seed ^ 0x51c9)}
+}
+
+// Next forwards to the wrapped update generator.
+func (q *QueryMix) Next(size int) graph.Batch { return q.gen.Next(size) }
+
+// Mirror forwards to the wrapped update generator.
+func (q *QueryMix) Mirror() *graph.Graph { return q.gen.Mirror() }
+
+// NextQueries emits the next batch of k query pairs against the current
+// mirror state.
+func (q *QueryMix) NextQueries(k int) [][2]int {
+	out := make([][2]int, 0, k)
+	// Edges() comes back in unspecified (map) order; sort so the sampled
+	// query stream is deterministic for a given seed and update prefix.
+	edges := q.Mirror().Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for len(out) < k {
+		if len(edges) > 0 && q.prg.NextN(2) == 0 {
+			e := edges[q.prg.NextN(uint64(len(edges)))]
+			out = append(out, [2]int{e.U, e.V})
+			continue
+		}
+		u := int(q.prg.NextN(uint64(q.n)))
+		v := int(q.prg.NextN(uint64(q.n)))
+		if u == v {
+			continue
+		}
+		out = append(out, [2]int{u, v})
+	}
+	return out
+}
+
+// OracleAnswers answers a query batch against the mirror with the
+// sequential oracle (one Components sweep for the whole batch), for
+// differential checks of batched query engines.
+func (q *QueryMix) OracleAnswers(pairs [][2]int) []bool {
+	labels := oracle.Components(q.Mirror())
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = labels[p[0]] == labels[p[1]]
+	}
+	return out
+}

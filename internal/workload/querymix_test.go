@@ -1,0 +1,69 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestQueryMixDeterministic pins the query stream: same seed, same queries;
+// and the update stream must be byte-identical to the unwrapped generator
+// (reads never perturb writes).
+func TestQueryMixDeterministic(t *testing.T) {
+	const n, seed = 48, 7
+	sc, err := workload.Get("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := sc.New(n, seed)
+	mixA := workload.NewQueryMix(sc.New(n, seed), n, 99)
+	mixB := workload.NewQueryMix(sc.New(n, seed), n, 99)
+	for i := 0; i < 6; i++ {
+		want := plain.Next(8)
+		gotA, gotB := mixA.Next(8), mixB.Next(8)
+		if !reflect.DeepEqual(want, gotA) {
+			t.Fatalf("batch %d: wrapped update stream diverged from the plain generator", i)
+		}
+		if !reflect.DeepEqual(gotA, gotB) {
+			t.Fatalf("batch %d: update streams diverged across same-seed mixes", i)
+		}
+		qA, qB := mixA.NextQueries(16), mixB.NextQueries(16)
+		if len(qA) != 16 {
+			t.Fatalf("batch %d: %d queries, want 16", i, len(qA))
+		}
+		if !reflect.DeepEqual(qA, qB) {
+			t.Fatalf("batch %d: query streams diverged across same-seed mixes", i)
+		}
+		for _, p := range qA {
+			if p[0] == p[1] || p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
+				t.Fatalf("batch %d: invalid query pair %v", i, p)
+			}
+		}
+	}
+}
+
+// TestQueryMixOracleAnswers sanity-checks the oracle answers: edge-sampled
+// pairs must come back connected.
+func TestQueryMixOracleAnswers(t *testing.T) {
+	const n = 32
+	sc, err := workload.Get("grow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.NewQueryMix(sc.New(n, 3), n, 5)
+	for i := 0; i < 4; i++ {
+		mix.Next(8)
+	}
+	pairs := mix.NextQueries(32)
+	ans := mix.OracleAnswers(pairs)
+	if len(ans) != len(pairs) {
+		t.Fatalf("%d answers for %d pairs", len(ans), len(pairs))
+	}
+	g := mix.Mirror()
+	for i, p := range pairs {
+		if g.Has(p[0], p[1]) && !ans[i] {
+			t.Fatalf("pair %v is an edge of the mirror but answered disconnected", p)
+		}
+	}
+}

@@ -2,9 +2,12 @@
 // output of `go test -bench -benchmem` against the checked-in baseline
 // (BENCH_sketch.json at the repository root) and exits non-zero when any
 // benchmark regresses beyond the configured ratios — by default >15% on
-// ns/op and >15% on B/op or allocs/op, the thresholds the CI gate enforces
-// for the sketch/mpc hot-path benchmarks. A baseline of 0 B/op is a
-// zero-allocation contract: any allocation at all fails the gate.
+// ns/op, >15% on B/op or allocs/op, and >15% on the rounds/query custom
+// metric the query-path benchmarks report from Stats.Rounds deltas; these
+// are the thresholds the CI gate enforces for the sketch/mpc/query
+// hot-path benchmarks. A baseline of 0 B/op is a zero-allocation contract,
+// and a baseline of 0 rounds/query is a zero-round contract (the warm
+// label-cache regime): any regression from zero fails the gate.
 //
 // Usage:
 //
@@ -29,11 +32,14 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's recorded profile.
+// Result is one benchmark's recorded profile. RoundsPerQuery is the custom
+// MPC-rounds metric the query benchmarks report; it is machine-independent
+// (a structural property of the execution, like allocs/op).
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	RoundsPerQuery float64 `json:"rounds_per_query,omitempty"`
 }
 
 // Baseline is the on-disk schema of BENCH_sketch.json.
@@ -70,6 +76,8 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "rounds/query":
+				res.RoundsPerQuery = v
 			}
 		}
 		out[m[1]] = res
@@ -101,6 +109,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
 	nsRatio := flag.Float64("ns-ratio", 1.15, "max allowed ns/op ratio vs baseline (0 disables; CI uses a looser value on shared runners)")
 	memRatio := flag.Float64("mem-ratio", 1.15, "max allowed B/op and allocs/op ratio vs baseline")
+	roundsRatio := flag.Float64("rounds-ratio", 1.15, "max allowed rounds/query ratio vs baseline (0 disables; a 0 baseline is a zero-round contract)")
 	note := flag.String("note", "", "note to store when updating the baseline")
 	flag.Parse()
 
@@ -164,6 +173,7 @@ func main() {
 			check(name, "ns/op", b.NsPerOp, g.NsPerOp, *nsRatio),
 			check(name, "B/op", b.BytesPerOp, g.BytesPerOp, *memRatio),
 			check(name, "allocs/op", b.AllocsPerOp, g.AllocsPerOp, *memRatio),
+			check(name, "rounds/query", b.RoundsPerQuery, g.RoundsPerQuery, *roundsRatio),
 		} {
 			if err != nil {
 				failures = append(failures, err.Error())
