@@ -1,9 +1,11 @@
-// Command experiments regenerates every experiment table (E1–E15; see
+// Command experiments regenerates every experiment table (E1–E16; see
 // README.md "Experiments").
 //
 // Usage:
 //
 //	experiments [-quick] [-only E1,E3] [-parallelism N] [-scenario powerlaw,window]
+//	experiments -only E16 -checkpoint state.snap
+//	experiments -only E16 -resume state.snap
 //
 // -quick shrinks the instance sizes for a fast smoke run; -only restricts
 // to a comma-separated list of experiment ids; -parallelism sets the
@@ -11,6 +13,10 @@
 // negative = NumCPU). Tables are identical at every parallelism; only
 // wall-clock changes. -scenario restricts the E14 differential sweep to a
 // comma-separated subset of the workload scenario registry (default: all).
+// -checkpoint and -resume wire the E16 crash-recovery experiment to a
+// snapshot file on disk: -checkpoint writes E16's final state, -resume
+// restores and re-verifies an existing snapshot (restart-without-replay;
+// a corrupt or version-skewed file is reported as rejected).
 package main
 
 import (
@@ -33,7 +39,15 @@ func main() {
 		fmt.Sprintf("comma-separated scenarios for the E14 sweep (default all; have %v)", workload.Names()))
 	queries := flag.Int("queries", 0,
 		"query batch size for the E15 query-throughput experiment (0 = 1024, or 256 with -quick)")
+	checkpointFile := flag.String("checkpoint", "",
+		"write the E16 crash-recovery experiment's final state snapshot to this file")
+	resumeFile := flag.String("resume", "",
+		"restore and re-verify an existing snapshot file in the E16 crash-recovery experiment")
 	flag.Parse()
+	if *queries < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -queries must be non-negative (got %d)\n", *queries)
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallelism
 
 	var scenarios []string
@@ -132,10 +146,13 @@ func main() {
 		}
 		return experiments.E15QueryThroughput(sizes[:len(sizes)-1], batches, q, 15)
 	})
+	run("E16", func() *experiments.Table {
+		return experiments.E16CrashRecovery(msfSizes, 2*batches, 4, 16, *checkpointFile, *resumeFile)
+	})
 	if len(want) > 0 {
 		for id := range want {
 			switch id {
-			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15":
+			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
 				os.Exit(2)

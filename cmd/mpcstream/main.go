@@ -24,6 +24,20 @@
 // the connectivity run into a read/write mix: after every update batch the
 // given number of connectivity queries is answered through one batched
 // ConnectedAll collective, oracle-verified, and reported as rounds/query.
+//
+// Checkpoint & recovery (see internal/snapshot): -checkpoint writes a
+// crash-safe snapshot of the final connectivity state (plus the mirror
+// graph) so a later invocation can continue the run without replaying it;
+// -resume restores such a snapshot before replaying a -stream trace of
+// further updates, oracle-verified against the restored mirror. With
+// -scenario, -crash-every k injects a seeded kill/restore cycle roughly
+// every k batches into the differential harness run — every scenario
+// doubles as a crash/recovery scenario, and the oracle checks must still
+// pass after every restore.
+//
+//	mpcstream -algo connectivity -n 256 -batches 50 -checkpoint state.snap
+//	mpcstream -algo connectivity -resume state.snap -stream more.txt
+//	mpcstream -algo connectivity -scenario powerlaw -batches 200 -crash-every 50
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -40,6 +55,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/msf"
 	"repro/internal/oracle"
+	"repro/internal/snapshot"
 	"repro/internal/streamio"
 	"repro/internal/workload"
 )
@@ -61,30 +77,72 @@ func main() {
 		fmt.Sprintf("run a registered workload scenario under the differential harness (have %v)", workload.Names()))
 	parallelism := flag.Int("parallelism", runtime.NumCPU(),
 		"execution-engine workers per cluster (0 or 1 = sequential, <0 = NumCPU); results are identical at every setting")
+	checkpointFile := flag.String("checkpoint", "",
+		"write a crash-safe snapshot of the final state to this file (-algo connectivity, generated or -stream mode)")
+	resumeFile := flag.String("resume", "",
+		"restore state from a -checkpoint snapshot before replaying further updates (requires -stream)")
+	crashEvery := flag.Int("crash-every", 0,
+		"with -scenario: inject a seeded kill+checkpoint+restore cycle roughly every k batches (0 disables)")
 	flag.Parse()
 
-	if *queries > 0 && (*streamFile != "" || *scenario != "") {
-		// Fail loudly rather than silently running a write-only stream: the
-		// read/write mix is only wired into the generated-stream mode.
-		fmt.Fprintln(os.Stderr, "mpcstream: -queries is only supported in the generated-stream mode (not with -stream or -scenario)")
+	// Validate flags before constructing generators or clusters, so a bad
+	// combination is a usage error on stderr, not a raw panic from deep
+	// inside a constructor (e.g. workload.NewQueryMix on n < 2).
+	if err := validateFlags(*n, *batches, *queries, *crashEvery, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
 	var err error
 	switch {
 	case *streamFile != "":
-		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism)
+		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *resumeFile, *checkpointFile)
 	case *scenario != "":
 		err = runScenario(*algo, *scenario, harness.Options{
 			N: *n, Batches: *batches, Seed: *seed, Phi: *phi, Parallelism: *parallelism,
-			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight,
+			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight, CrashEvery: *crashEvery,
 		})
 	default:
-		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries)
+		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries, *checkpointFile)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects invalid or incoherent flag combinations up front.
+func validateFlags(n, batches, queries, crashEvery int, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
+	if n < 2 {
+		return fmt.Errorf("-n must be at least 2 (got %d)", n)
+	}
+	if batches < 0 {
+		return fmt.Errorf("-batches must be non-negative (got %d)", batches)
+	}
+	if queries < 0 {
+		return fmt.Errorf("-queries must be non-negative (got %d)", queries)
+	}
+	if crashEvery < 0 {
+		return fmt.Errorf("-crash-every must be non-negative (got %d)", crashEvery)
+	}
+	if queries > 0 && (streamFile != "" || scenario != "") {
+		// Fail loudly rather than silently running a write-only stream: the
+		// read/write mix is only wired into the generated-stream mode.
+		return fmt.Errorf("-queries is only supported in the generated-stream mode (not with -stream or -scenario)")
+	}
+	if queries > 0 && algo != "connectivity" {
+		return fmt.Errorf("-queries requires -algo connectivity, got %q", algo)
+	}
+	if crashEvery > 0 && scenario == "" {
+		return fmt.Errorf("-crash-every requires -scenario")
+	}
+	if resumeFile != "" && streamFile == "" {
+		return fmt.Errorf("-resume requires -stream: a generated workload cannot continue a restored graph " +
+			"(its generator state is not part of the snapshot)")
+	}
+	if checkpointFile != "" && (scenario != "" || algo != "connectivity") {
+		return fmt.Errorf("-checkpoint is supported for -algo connectivity in the generated and -stream modes")
+	}
+	return nil
 }
 
 // runScenario streams a registered scenario through the named algorithm
@@ -98,12 +156,9 @@ func runScenario(algo, scenario string, opt harness.Options) error {
 	return nil
 }
 
-func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism, queries int) error {
+func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism, queries int, checkpointFile string) error {
 	cfg := core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism}
 	gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, MaxWeight: maxWeight, InsertBias: insertBias})
-	if queries > 0 && algo != "connectivity" {
-		return fmt.Errorf("-queries requires -algo connectivity, got %q", algo)
-	}
 	switch algo {
 	case "connectivity":
 		dc, err := core.NewDynamicConnectivity(cfg)
@@ -145,6 +200,11 @@ func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps f
 				answered, connected, queryRounds, float64(queryRounds)/float64(answered))
 		}
 		report(dc.Cluster().Stats(), batches)
+		if checkpointFile != "" {
+			if err := writeCheckpoint(checkpointFile, &streamState{n: n, phi: phi, seed: seed, dc: dc, mirror: gen.Mirror()}); err != nil {
+				return err
+			}
+		}
 	case "msf":
 		m, err := msf.NewExactMSF(cfg)
 		if err != nil {
@@ -224,8 +284,119 @@ func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps f
 	return nil
 }
 
-// runStream replays a trace file through the connectivity algorithm.
-func runStream(algo, path string, phi float64, seed uint64, parallelism int) error {
+// Section tags of the CLI layer of a snapshot: run metadata and the mirror
+// graph, written ahead of the connectivity state so a resuming process can
+// size its cluster before restoring.
+const (
+	tagCLIMeta   = 0x50
+	tagCLIMirror = 0x51
+)
+
+// streamState is the CLI's checkpoint unit: the run parameters, the mirror
+// graph (so a resumed replay can still be oracle-verified), and the
+// connectivity instance.
+type streamState struct {
+	n      int
+	phi    float64
+	seed   uint64
+	dc     *core.DynamicConnectivity
+	mirror *graph.Graph
+}
+
+// Checkpoint implements snapshot.Checkpointer.
+func (s *streamState) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagCLIMeta)
+	e.Int(s.n)
+	e.F64(s.phi)
+	e.U64(s.seed)
+	e.Begin(tagCLIMirror)
+	edges := s.mirror.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	e.Int(len(edges))
+	for _, we := range edges {
+		e.Int(we.U)
+		e.Int(we.V)
+		e.I64(we.Weight)
+	}
+	s.dc.Checkpoint(e)
+}
+
+// writeCheckpoint saves the state snapshot to path.
+func writeCheckpoint(path string, st *streamState) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Save(f, st); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s\n", path)
+	return nil
+}
+
+// resumeState restores a streamState from a snapshot file: the cluster is
+// rebuilt from the snapshot's run metadata (the current -parallelism flag
+// still selects the execution engine — it is not state) and the mirror
+// graph and connectivity state are reloaded.
+func resumeState(path string, parallelism int) (*streamState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := snapshot.NewDecoder(f)
+	if err != nil {
+		return nil, err
+	}
+	d.Begin(tagCLIMeta)
+	st := &streamState{n: d.Int(), phi: d.F64(), seed: d.U64()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// The meta section is the config source here (nothing to cross-check it
+	// against yet), so sanity-validate it before sizing a graph or cluster
+	// from it: a malformed value must be a diagnostic, not a make() panic.
+	if st.n < 2 || st.n > 1<<31 {
+		return nil, fmt.Errorf("snapshot declares %d vertices (want 2..2^31)", st.n)
+	}
+	if st.phi <= 0 || st.phi > 1 {
+		return nil, fmt.Errorf("snapshot declares Phi=%v (want (0,1])", st.phi)
+	}
+	d.Begin(tagCLIMirror)
+	st.mirror = graph.New(st.n)
+	cnt := d.Int()
+	for i := 0; i < cnt && d.Err() == nil; i++ {
+		u, v := d.Int(), d.Int()
+		w := d.I64()
+		if err := st.mirror.Insert(u, v, w); err != nil {
+			return nil, fmt.Errorf("snapshot mirror edge {%d,%d}: %w", u, v, err)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	st.dc, err = core.NewDynamicConnectivity(core.Config{N: st.n, Phi: st.phi, Seed: st.seed, Parallelism: parallelism})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.dc.Restore(d); err != nil {
+		return nil, err
+	}
+	return st, d.Finish()
+}
+
+// runStream replays a trace file through the connectivity algorithm,
+// optionally resuming from and/or writing a checkpoint.
+func runStream(algo, path string, phi float64, seed uint64, parallelism int, resumeFile, checkpointFile string) error {
 	if algo != "connectivity" {
 		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
 	}
@@ -238,34 +409,64 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int) err
 	if err != nil {
 		return err
 	}
-	n := streamio.MaxVertex(batches) + 1
-	if n < 2 {
-		return fmt.Errorf("stream references fewer than 2 vertices")
-	}
-	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism})
-	if err != nil {
-		return err
+	var st *streamState
+	if resumeFile != "" {
+		st, err = resumeState(resumeFile, parallelism)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", resumeFile, err)
+		}
+		if maxV := streamio.MaxVertex(batches); maxV >= st.n {
+			return fmt.Errorf("stream references vertex %d but the resumed snapshot covers [0,%d)", maxV, st.n)
+		}
+		fmt.Printf("resumed %d vertices, %d edges from %s\n", st.n, st.mirror.M(), resumeFile)
+	} else {
+		n := streamio.MaxVertex(batches) + 1
+		if n < 2 {
+			return fmt.Errorf("stream references fewer than 2 vertices")
+		}
+		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism})
+		if err != nil {
+			return err
+		}
+		st = &streamState{n: n, phi: phi, seed: seed, dc: dc, mirror: graph.New(n)}
 	}
 	// Pre-validate so a corrupt trace yields an error, not Replay's panic.
-	probe := graph.New(n)
+	probe := graph.New(st.n)
+	if err := probe.Apply(graphBatchOf(st.mirror)); err != nil {
+		return fmt.Errorf("restored mirror is inconsistent: %w", err)
+	}
 	for i, b := range batches {
 		if err := probe.Apply(b); err != nil {
 			return fmt.Errorf("batch %d invalid against the replayed graph: %w", i, err)
 		}
 	}
-	rp := workload.NewReplay(n, batches)
+	rp := workload.NewReplayFrom(st.mirror, batches)
 	for !rp.Done() {
-		if err := dc.ApplyBatch(rp.Next(dc.MaxBatch())); err != nil {
+		if err := st.dc.ApplyBatch(rp.Next(st.dc.MaxBatch())); err != nil {
 			return err
 		}
 	}
-	if err := harness.VerifyConnectivity(dc, rp.Mirror()); err != nil {
+	if err := harness.VerifyConnectivity(st.dc, rp.Mirror()); err != nil {
 		return fmt.Errorf("replay diverged from the oracle: %w", err)
 	}
 	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle-verified)\n",
-		len(batches), n, dc.NumComponents())
-	report(dc.Cluster().Stats(), len(batches))
+		len(batches), st.n, st.dc.NumComponents())
+	report(st.dc.Cluster().Stats(), len(batches))
+	if checkpointFile != "" {
+		st.mirror = rp.Mirror()
+		return writeCheckpoint(checkpointFile, st)
+	}
 	return nil
+}
+
+// graphBatchOf renders a graph's live edges as one insertion batch (used to
+// prime the pre-validation probe with the restored mirror).
+func graphBatchOf(g *graph.Graph) graph.Batch {
+	var b graph.Batch
+	for _, we := range g.Edges() {
+		b = append(b, graph.InsW(we.U, we.V, we.Weight))
+	}
+	return b
 }
 
 func report(st mpc.Stats, batches int) {

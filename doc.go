@@ -28,4 +28,15 @@
 // read/write-mix streams, mpcstream -queries drives them oracle-verified,
 // and the E15 table plus the gated rounds/query benchmark metric keep the
 // round complexity from regressing (see README.md "Query API").
+//
+// The whole stack is crash-safe: internal/snapshot serializes every
+// algorithm's full distributed state — machine shards, sketch arenas,
+// coordinator caches, cluster Stats — into a versioned, CRC-guarded
+// binary container (reusing the MessageBatch frame encoding), so a killed
+// run restores bit-identically and continues without replaying its
+// stream. workload.NewCrashSchedule injects seeded kill/restore cycles
+// into any scenario (harness Options.CrashEvery, mpcstream -crash-every),
+// the CLIs persist snapshots (-checkpoint/-resume), and the E16 table
+// plus FuzzSnapshotDecode keep restores exact and corrupt snapshots
+// rejected (see README.md "Checkpoint & recovery").
 package repro

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/snapshot"
 )
 
 // Tester maintains the bipartiteness of an n-vertex dynamic graph.
@@ -77,6 +78,26 @@ func (t *Tester) ApplyBatch(b graph.Batch) error {
 // between batches cost zero rounds.
 func (t *Tester) IsBipartite() bool {
 	return t.cover.NumComponents() == 2*t.g.NumComponents()
+}
+
+// Checkpoint serializes both maintained connectivity instances (input
+// graph, then double cover) into a crash-safe snapshot; see package
+// snapshot.
+func (t *Tester) Checkpoint(e *snapshot.Encoder) {
+	t.g.Checkpoint(e)
+	t.cover.Checkpoint(e)
+}
+
+// Restore loads a checkpoint written by Checkpoint into this freshly
+// constructed tester. On error the instance must be discarded.
+func (t *Tester) Restore(d *snapshot.Decoder) error {
+	if err := t.g.Restore(d); err != nil {
+		return fmt.Errorf("bipartite: input graph: %w", err)
+	}
+	if err := t.cover.Restore(d); err != nil {
+		return fmt.Errorf("bipartite: double cover: %w", err)
+	}
+	return nil
 }
 
 // Graph exposes the connectivity instance on G (for metering).

@@ -110,12 +110,14 @@ func (u sketchUpdate) Words() int { return 2*len(u.edges) + 1 }
 func (dc *DynamicConnectivity) updateSketches(edges []graph.Edge, op graph.Op) {
 	dc.f.broadcast(sketchUpdate{edges: edges, op: op})
 	dc.f.cl.LocalAll(func(mm *mpc.Machine) {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		vs := vShard(mm)
 		if vs == nil {
 			return
 		}
 		sh := mm.Get(slotSketch).(*sketchShard)
-		u := mm.Get(slotBcast).(sketchUpdate)
+		u := payload.(sketchUpdate)
 		for _, e := range u.edges {
 			for _, v := range []int{e.U, e.V} {
 				if vs.owns(v) {

@@ -12,9 +12,10 @@ import (
 
 // Machine store slot names.
 const (
-	slotVertex = "v" // vertexShard
-	slotEdge   = "e" // edgeShard
-	slotBcast  = "b" // transient broadcast payloads
+	slotVertex = "v"  // vertexShard
+	slotEdge   = "e"  // edgeShard
+	slotBcast  = "b"  // transient broadcast payloads
+	slotQCache = "qc" // coordinator query-cache meter (cacheMeter)
 )
 
 // vertexShard is the per-machine vertex state: the component id of every
@@ -85,9 +86,32 @@ type labelCache struct {
 	epoch  uint32
 	miss   []int      // reusable sorted miss list of the current resolve
 	query  u64Payload // reusable broadcast payload holding the miss list
+	// valid counts the entries stamped in the current epoch, i.e. the
+	// resident cache size metered by cacheMeter.
+	valid int
 	// numComps caches NumComponents per epoch (valid iff numCompsOK).
 	numComps   int
 	numCompsOK bool
+}
+
+// cacheMeter folds the coordinator's query caches into the MPC memory
+// ledger: the epoch-valid label-cache entries (label plus stamp, two words
+// each) and the cached NumComponents readout. Without it the cache lives
+// outside meterMemory, Stats.PeakTotalWords under-reports, and Strict mode
+// cannot catch a cache outgrowing the s-words model. Registered under
+// slotQCache on the coordinator machine; Words is read at round
+// boundaries only, while the coordinator driver is quiescent, so it needs
+// no synchronization.
+type cacheMeter struct{ f *Forest }
+
+// Words implements mpc.Sized.
+func (c cacheMeter) Words() int {
+	lc := &c.f.cache
+	w := 2 * lc.valid
+	if lc.numCompsOK {
+		w++
+	}
+	return w
 }
 
 // Forest is the distributed Euler-tour spanning-forest engine (Sections 5
@@ -147,11 +171,13 @@ func newForest(cfg Config, weighted bool, sketchWords int) (*Forest, error) {
 		},
 	}
 	f.collectLabels = func(mm *mpc.Machine) *mpc.MessageBatch {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		vs := vShard(mm)
 		if vs == nil {
 			return nil
 		}
-		q := mm.Get(slotBcast).(*u64Payload).xs
+		q := payload.(*u64Payload).xs
 		i := sort.Search(len(q), func(i int) bool { return int(q[i]) >= vs.lo })
 		b := mpc.AcquireMessageBatch()
 		for ; i < len(q) && int(q[i]) < vs.hi; i++ {
@@ -167,10 +193,19 @@ func newForest(cfg Config, weighted bool, sketchWords int) (*Forest, error) {
 				vs.comp[v-lo] = v
 			}
 			mm.Set(slotVertex, vs)
+		} else {
+			mm.Set(slotQCache, cacheMeter{f})
 		}
 		mm.Set(slotEdge, &edgeShard{recs: map[graph.Edge]*treeEdge{}})
 	})
 	return f, nil
+}
+
+// MeterCoordinator registers a Sized under a named slot on the coordinator
+// machine, folding a driver-level cache (e.g. the exact-MSF weight readout)
+// into the cluster's memory ledger alongside the forest's own cacheMeter.
+func (f *Forest) MeterCoordinator(slot string, s mpc.Sized) {
+	f.cl.Machine(f.coord).Set(slot, s)
 }
 
 // Cluster exposes the underlying cluster for metering.
@@ -241,6 +276,7 @@ func (f *Forest) invalidateCache() {
 		clear(f.cache.stamp)
 		f.cache.epoch = 1
 	}
+	f.cache.valid = 0
 	f.cache.numCompsOK = false
 }
 
@@ -248,6 +284,15 @@ func (f *Forest) invalidateCache() {
 // query runs its collective. Updates invalidate automatically; this exists
 // for measurement (E15 and the query benchmarks ablate the cache with it).
 func (f *Forest) InvalidateCache() { f.invalidateCache() }
+
+// checkQueryVertex rejects out-of-range query vertices up front with a
+// diagnostic instead of letting the label cache index out of bounds (e.g.
+// a stale QueryMix trace replayed against a smaller N).
+func (f *Forest) checkQueryVertex(v int) {
+	if v < 0 || v >= f.cfg.N {
+		panic(fmt.Sprintf("core: query vertex %d out of range [0,%d)", v, f.cfg.N))
+	}
+}
 
 // resolveLabels ensures the label cache covers every listed vertex. Cache
 // misses are deduplicated via the epoch stamps, sorted, broadcast once, and
@@ -258,8 +303,10 @@ func (f *Forest) resolveLabels(vertices []int) {
 	lc := &f.cache
 	miss := lc.miss[:0]
 	for _, v := range vertices {
+		f.checkQueryVertex(v)
 		if lc.stamp[v] != lc.epoch {
 			lc.stamp[v] = lc.epoch
+			lc.valid++
 			miss = append(miss, v)
 		}
 	}
@@ -309,11 +356,13 @@ func (f *Forest) compSizes(keys []int) map[int]int {
 	f.broadcast(mpc.Ints(q))
 	res := f.cl.AggregateBatches(f.coord,
 		func(mm *mpc.Machine) *mpc.MessageBatch {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			vs := vShard(mm)
 			if vs == nil {
 				return nil
 			}
-			want := mm.Get(slotBcast).(mpc.Ints)
+			want := payload.(mpc.Ints)
 			counts := make([]uint64, len(want))
 			for i := range vs.comp {
 				if j := sort.SearchInts(want, vs.comp[i]); j < len(want) && want[j] == vs.comp[i] {
@@ -403,8 +452,10 @@ func (f *Forest) Stats(vertices []int) map[int]eulertour.VertexStats {
 	f.broadcast(statsQuery{vertices: q})
 	merged := f.cl.AggregateBatches(f.coord,
 		func(mm *mpc.Machine) *mpc.MessageBatch {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			es := eShard(mm)
-			query := mm.Get(slotBcast).(statsQuery).vertices
+			query := payload.(statsQuery).vertices
 			// Accumulate per query slot (query is sorted, so the emitted
 			// frames are key-sorted for free).
 			tours := make([]eulertour.TourID, len(query))
@@ -478,8 +529,10 @@ func (f *Forest) minAbove(qs []eulertour.CutQuery) map[int]eulertour.Pos {
 	f.broadcast(cutQueryPayload{qs: sorted})
 	res := f.cl.AggregateBatches(f.coord,
 		func(mm *mpc.Machine) *mpc.MessageBatch {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			es := eShard(mm)
-			queries := mm.Get(slotBcast).(cutQueryPayload).qs
+			queries := payload.(cutQueryPayload).qs
 			best := make([]eulertour.Pos, len(queries))
 			for _, te := range es.recs {
 				for j, q := range queries {
@@ -673,6 +726,7 @@ func (f *Forest) applyRelabels(relabels []eulertour.Relabel, compMap map[int]int
 	}
 	f.cl.LocalAll(func(mm *mpc.Machine) {
 		p := mm.Get(slotBcast).(relabelPayload)
+		mm.Delete(slotBcast)
 		set := eulertour.NewRelabelSet(p.relabels)
 		es := eShard(mm)
 		for e, te := range es.recs {
@@ -755,9 +809,11 @@ func (f *Forest) Cut(edges []graph.Edge) (*CutReport, error) {
 	sort.Slice(byID, func(i, j int) bool { return byID[i].ID(n) < byID[j].ID(n) })
 	f.broadcast(edgeListPayload{edges: byID})
 	gathered := f.cl.AggregateBatches(f.coord, func(mm *mpc.Machine) *mpc.MessageBatch {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		es := eShard(mm)
 		b := mpc.AcquireMessageBatch()
-		for _, e := range mm.Get(slotBcast).(edgeListPayload).edges {
+		for _, e := range payload.(edgeListPayload).edges {
 			if te, ok := es.recs[e]; ok {
 				fr := b.Grow(7)
 				fr[0] = e.ID(n)
@@ -822,8 +878,10 @@ func (f *Forest) Cut(edges []graph.Edge) (*CutReport, error) {
 	sort.Ints(tourList)
 	f.broadcast(mpc.Ints(tourList))
 	res := f.cl.AggregateBatches(f.coord, func(mm *mpc.Machine) *mpc.MessageBatch {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		es := eShard(mm)
-		want := mm.Get(slotBcast).(mpc.Ints)
+		want := payload.(mpc.Ints)
 		counts := make([]uint64, len(want))
 		for _, te := range es.recs {
 			if j := sort.SearchInts(want, int(te.rec.Tour)); j < len(want) && want[j] == int(te.rec.Tour) {
@@ -985,11 +1043,13 @@ func (f *Forest) broadcastFragComps(compByFrag map[uint64]int) {
 	f.invalidateCache()
 	f.broadcast(mpc.Value{V: compByFrag, N: 2 * len(compByFrag)})
 	f.cl.LocalAll(func(mm *mpc.Machine) {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		vs := vShard(mm)
 		if vs == nil {
 			return
 		}
-		m := mm.Get(slotBcast).(mpc.Value).V.(map[uint64]int)
+		m := payload.(mpc.Value).V.(map[uint64]int)
 		for v, k := range vs.frag {
 			if c, ok := m[k]; ok {
 				vs.setComp(v, c)
@@ -1042,8 +1102,10 @@ func (f *Forest) HeaviestOnPaths(pairs [][2]int) (map[int]graph.WeightedEdge, er
 	f.broadcast(q)
 	res := f.cl.AggregateBatches(f.coord,
 		func(mm *mpc.Machine) *mpc.MessageBatch {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			es := eShard(mm)
-			query := mm.Get(slotBcast).(pathQuery)
+			query := payload.(pathQuery)
 			best := make([]graph.WeightedEdge, len(query.pairs))
 			found := make([]bool, len(query.pairs))
 			for _, te := range es.recs {
@@ -1224,12 +1286,14 @@ func (f *Forest) ReportForest() []int {
 	}
 	f.broadcast(mpc.Value{V: offsets, N: 2 * len(offsets)})
 	f.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		keys, ok := mm.Get(slotOut).(mpc.U64s)
 		if !ok {
 			return nil
 		}
 		mm.Delete(slotOut)
-		off := mm.Get(slotBcast).(mpc.Value).V.(map[int]int)[mm.ID]
+		off := payload.(mpc.Value).V.(map[int]int)[mm.ID]
 		byDest := map[int][]uint64{}
 		for i, k := range keys {
 			byDest[(off+i)/capacity] = append(byDest[(off+i)/capacity], k)

@@ -7,6 +7,11 @@ package core
 // between updates with zero MPC rounds. The Into variants write into
 // caller-provided buffers, so a warm steady-state query performs zero
 // allocations (see the AllocsPerRun gates in query_test.go).
+//
+// Every query entry point validates its vertices up front: a vertex
+// outside [0, N) — e.g. a stale QueryMix trace replayed against a smaller
+// instance — fails with a diagnostic "core: query vertex out of range"
+// panic instead of an index error deep inside the label cache.
 
 // Pair is one connectivity query: "are U and V in the same component?".
 type Pair struct{ U, V int }
@@ -60,12 +65,16 @@ func (f *Forest) resolvePairs(pairs []Pair) {
 	lc := &f.cache
 	miss := lc.miss[:0]
 	for _, p := range pairs {
+		f.checkQueryVertex(p.U)
+		f.checkQueryVertex(p.V)
 		if lc.stamp[p.U] != lc.epoch {
 			lc.stamp[p.U] = lc.epoch
+			lc.valid++
 			miss = append(miss, p.U)
 		}
 		if lc.stamp[p.V] != lc.epoch {
 			lc.stamp[p.V] = lc.epoch
+			lc.valid++
 			miss = append(miss, p.V)
 		}
 	}
@@ -75,14 +84,18 @@ func (f *Forest) resolvePairs(pairs []Pair) {
 
 // resolvePairs2 is resolvePairs for a single pair.
 func (f *Forest) resolvePairs2(u, v int) {
+	f.checkQueryVertex(u)
+	f.checkQueryVertex(v)
 	lc := &f.cache
 	miss := lc.miss[:0]
 	if lc.stamp[u] != lc.epoch {
 		lc.stamp[u] = lc.epoch
+		lc.valid++
 		miss = append(miss, u)
 	}
 	if lc.stamp[v] != lc.epoch {
 		lc.stamp[v] = lc.epoch
+		lc.valid++
 		miss = append(miss, v)
 	}
 	lc.miss = miss

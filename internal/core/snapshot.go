@@ -1,0 +1,284 @@
+package core
+
+// Crash-safe checkpoint/restore of the connectivity stack (see package
+// snapshot for the container format). A checkpoint captures everything a
+// fresh instance cannot rederive: the per-machine vertex and edge shards,
+// the sketch arenas, the coordinator-local tour-id counter and label cache
+// (epoch-preserving, so a restored run's warm queries stay warm), and the
+// cluster execution metrics. Shared randomness (edge hash, sketch spaces)
+// is reconstructed deterministically from the configuration seed, so it is
+// validated, not serialized.
+//
+// Restore must be called on a freshly constructed instance of the same
+// configuration; mismatches are rejected with a descriptive error. On any
+// error the instance is left in an undefined state and must be discarded —
+// the container-level checks (magic, version, CRC) have already rejected
+// corrupt files before restore begins.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eulertour"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// Section tags of the core layer.
+const (
+	tagForest      = 0x10
+	tagForestShard = 0x11
+	tagSketchShard = 0x12
+)
+
+// Checkpoint serializes the forest: configuration echo, tour-id counter,
+// label cache, cluster stats, and one section per machine shard.
+func (f *Forest) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagForest)
+	e.Int(f.cfg.N)
+	e.F64(f.cfg.Phi)
+	e.Int(f.cfg.SketchCopies)
+	e.U64(f.cfg.Seed)
+	e.Int(f.cfg.VerticesPerMachine)
+	e.Bool(f.weighted)
+	e.Int(f.cl.Machines())
+	e.U64(f.nextID)
+	lc := &f.cache
+	e.U64(uint64(lc.epoch))
+	e.Int(lc.valid)
+	e.Int(lc.numComps)
+	e.Bool(lc.numCompsOK)
+	e.Ints(lc.labels)
+	e.Int(len(lc.stamp))
+	for _, s := range lc.stamp {
+		e.U64(uint64(s))
+	}
+	snapshot.EncodeClusterStats(e, f.cl.Stats())
+	for i := 0; i < f.cl.Machines(); i++ {
+		f.checkpointShard(e, i)
+	}
+}
+
+// checkpointShard writes machine i's vertex and edge shard. Map contents
+// are emitted in sorted key order so a checkpoint is a deterministic
+// function of the logical state.
+func (f *Forest) checkpointShard(e *snapshot.Encoder, i int) {
+	mm := f.cl.Machine(i)
+	e.Begin(tagForestShard)
+	e.Int(i)
+	vs := vShard(mm)
+	e.Bool(vs != nil)
+	if vs != nil {
+		e.Int(vs.lo)
+		e.Int(vs.hi)
+		e.Ints(vs.comp)
+		verts := make([]int, 0, len(vs.frag))
+		for v := range vs.frag {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		e.Int(len(verts))
+		for _, v := range verts {
+			e.Int(v)
+			e.U64(vs.frag[v])
+		}
+	}
+	es := eShard(mm)
+	recs := make([]*treeEdge, 0, len(es.recs))
+	for _, te := range es.recs {
+		recs = append(recs, te)
+	}
+	n := f.cfg.N
+	sort.Slice(recs, func(a, b int) bool { return recs[a].rec.E.ID(n) < recs[b].rec.E.ID(n) })
+	e.Int(len(recs))
+	for _, te := range recs {
+		e.Int(te.rec.E.U)
+		e.Int(te.rec.E.V)
+		e.U64(uint64(te.rec.Tour))
+		e.Int(te.rec.UPos[0])
+		e.Int(te.rec.UPos[1])
+		e.Int(te.rec.VPos[0])
+		e.Int(te.rec.VPos[1])
+		e.I64(te.weight)
+	}
+}
+
+// Restore loads a checkpoint written by Checkpoint into this freshly
+// constructed forest, after validating that the snapshot's configuration
+// matches (Parallelism and Strict are execution-engine choices, not state,
+// and may differ between the checkpointing and the restoring process).
+func (f *Forest) Restore(d *snapshot.Decoder) error {
+	d.Begin(tagForest)
+	n := d.Int()
+	phi := d.F64()
+	copies := d.Int()
+	seed := d.U64()
+	vpm := d.Int()
+	weighted := d.Bool()
+	mach := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch {
+	case n != f.cfg.N:
+		return fmt.Errorf("core: snapshot of N=%d restored into N=%d", n, f.cfg.N)
+	case phi != f.cfg.Phi:
+		return fmt.Errorf("core: snapshot of Phi=%v restored into Phi=%v", phi, f.cfg.Phi)
+	case copies != f.cfg.SketchCopies:
+		return fmt.Errorf("core: snapshot of SketchCopies=%d restored into SketchCopies=%d", copies, f.cfg.SketchCopies)
+	case seed != f.cfg.Seed:
+		return fmt.Errorf("core: snapshot of Seed=%d restored into Seed=%d", seed, f.cfg.Seed)
+	case vpm != f.cfg.VerticesPerMachine:
+		return fmt.Errorf("core: snapshot of VerticesPerMachine=%d restored into VerticesPerMachine=%d", vpm, f.cfg.VerticesPerMachine)
+	case weighted != f.weighted:
+		return fmt.Errorf("core: snapshot weighted=%v restored into weighted=%v", weighted, f.weighted)
+	case mach != f.cl.Machines():
+		return fmt.Errorf("core: snapshot of %d machines restored into %d", mach, f.cl.Machines())
+	}
+	f.nextID = d.U64()
+	lc := &f.cache
+	lc.epoch = uint32(d.U64())
+	lc.valid = d.Int()
+	lc.numComps = d.Int()
+	lc.numCompsOK = d.Bool()
+	labels := d.Ints()
+	if d.Err() == nil && len(labels) != f.cfg.N {
+		return fmt.Errorf("core: snapshot label cache of %d entries, want %d", len(labels), f.cfg.N)
+	}
+	copy(lc.labels, labels)
+	ns := d.Int()
+	if d.Err() == nil && ns != f.cfg.N {
+		return fmt.Errorf("core: snapshot stamp array of %d entries, want %d", ns, f.cfg.N)
+	}
+	for i := 0; i < ns && d.Err() == nil; i++ {
+		lc.stamp[i] = uint32(d.U64())
+	}
+	st := snapshot.DecodeClusterStats(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.cl.RestoreStats(st)
+	for i := 0; i < f.cl.Machines(); i++ {
+		if err := f.restoreShard(d, i); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// restoreShard loads machine i's vertex and edge shard.
+func (f *Forest) restoreShard(d *snapshot.Decoder, i int) error {
+	mm := f.cl.Machine(i)
+	d.Begin(tagForestShard)
+	id := d.Int()
+	hasV := d.Bool()
+	vs := vShard(mm)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if id != i {
+		return fmt.Errorf("core: shard section for machine %d where %d was expected", id, i)
+	}
+	if hasV != (vs != nil) {
+		return fmt.Errorf("core: snapshot/instance disagree on machine %d holding a vertex shard", i)
+	}
+	if vs != nil {
+		lo, hi := d.Int(), d.Int()
+		comp := d.Ints()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if lo != vs.lo || hi != vs.hi {
+			return fmt.Errorf("core: snapshot shard %d covers [%d,%d), instance covers [%d,%d)", i, lo, hi, vs.lo, vs.hi)
+		}
+		if len(comp) != hi-lo {
+			return fmt.Errorf("core: snapshot shard %d has %d component entries, want %d", i, len(comp), hi-lo)
+		}
+		copy(vs.comp, comp)
+		nf := d.Int()
+		vs.frag = make(map[int]uint64, nf)
+		for j := 0; j < nf && d.Err() == nil; j++ {
+			v := d.Int()
+			k := d.U64()
+			if v < vs.lo || v >= vs.hi {
+				return fmt.Errorf("core: snapshot shard %d holds fragment entry for foreign vertex %d", i, v)
+			}
+			vs.frag[v] = k
+		}
+	}
+	es := eShard(mm)
+	nr := d.Int()
+	es.recs = make(map[graph.Edge]*treeEdge, nr)
+	for j := 0; j < nr && d.Err() == nil; j++ {
+		u, v := d.Int(), d.Int()
+		tour := eulertour.TourID(d.U64())
+		u0, u1 := d.Int(), d.Int()
+		v0, v1 := d.Int(), d.Int()
+		w := d.I64()
+		if u < 0 || v < 0 || u >= v || v >= f.cfg.N {
+			return fmt.Errorf("core: snapshot shard %d holds invalid tree edge {%d,%d}", i, u, v)
+		}
+		te := &treeEdge{
+			rec: eulertour.Record{
+				E:    graph.Edge{U: u, V: v},
+				Tour: tour,
+				UPos: [2]eulertour.Pos{u0, u1},
+				VPos: [2]eulertour.Pos{v0, v1},
+			},
+			weight: w,
+		}
+		es.recs[te.rec.E] = te
+	}
+	return d.Err()
+}
+
+// Checkpoint serializes the full dynamic-connectivity state: the forest
+// plus every machine's sketch arena (one contiguous word image per shard).
+func (dc *DynamicConnectivity) Checkpoint(e *snapshot.Encoder) {
+	dc.f.Checkpoint(e)
+	for i := 0; i < dc.f.cl.Machines(); i++ {
+		mm := dc.f.cl.Machine(i)
+		sh, ok := mm.Get(slotSketch).(*sketchShard)
+		e.Begin(tagSketchShard)
+		e.Int(i)
+		e.Bool(ok)
+		if ok {
+			e.U64s(sh.arena.Raw())
+		}
+	}
+}
+
+// Restore loads a checkpoint written by Checkpoint into this freshly
+// constructed instance. The sketch spaces are rebuilt from the seed by the
+// constructor; only the arena cell words are reloaded.
+func (dc *DynamicConnectivity) Restore(d *snapshot.Decoder) error {
+	if err := dc.f.Restore(d); err != nil {
+		return err
+	}
+	for i := 0; i < dc.f.cl.Machines(); i++ {
+		mm := dc.f.cl.Machine(i)
+		sh, ok := mm.Get(slotSketch).(*sketchShard)
+		d.Begin(tagSketchShard)
+		id := d.Int()
+		hasS := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id != i {
+			return fmt.Errorf("core: sketch section for machine %d where %d was expected", id, i)
+		}
+		if hasS != ok {
+			return fmt.Errorf("core: snapshot/instance disagree on machine %d holding sketches", i)
+		}
+		if ok {
+			words := d.U64s()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if err := sh.arena.LoadRaw(words); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// warmInstance builds a connectivity instance and streams some churn into
+// it (with a few queries, so the label cache is warm at checkpoint time).
+func warmInstance(t testing.TB, n, parallelism, batches int, seed uint64) (*core.DynamicConnectivity, *workload.QueryMix) {
+	t.Helper()
+	dc, mix := newQueryRun(t, n, parallelism, seed)
+	for i := 0; i < batches; i++ {
+		if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+			t.Fatal(err)
+		}
+		dc.ConnectedAllInto(nil, toPairs(mix.NextQueries(16)))
+	}
+	return dc, mix
+}
+
+// TestSnapshotRoundTripContinue is the core round-trip property: checkpoint
+// -> restore into a fresh instance -> continue the stream must be
+// bit-identical (components, forest, Stats, query answers) to never having
+// checkpointed — at parallelism 1 and 8, and with the restore crossing
+// parallelism levels (engine choice is not state).
+func TestSnapshotRoundTripContinue(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		dc, mix := warmInstance(t, 64, par, 6, 11)
+		var buf bytes.Buffer
+		if err := snapshot.Save(&buf, dc); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := core.NewDynamicConnectivity(core.Config{N: 64, Phi: 0.6, Seed: 11, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snapshot.Load(bytes.NewReader(buf.Bytes()), restored); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dc.Cluster().Stats(), restored.Cluster().Stats()) {
+			t.Fatalf("par %d: restored Stats differ:\n  live:     %+v\n  restored: %+v",
+				par, dc.Cluster().Stats(), restored.Cluster().Stats())
+		}
+		if !reflect.DeepEqual(dc.SnapshotComponents(), restored.SnapshotComponents()) {
+			t.Fatalf("par %d: restored components differ", par)
+		}
+		if !reflect.DeepEqual(dc.SnapshotForest(), restored.SnapshotForest()) {
+			t.Fatalf("par %d: restored forest differs", par)
+		}
+		// Continue both with identical batches; they must stay in lockstep
+		// (the restored cache must still be warm: same rounds, same answers).
+		for i := 0; i < 4; i++ {
+			b := mix.Next(dc.MaxBatch())
+			if err := dc.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			pairs := toPairs(mix.NextQueries(32))
+			if !reflect.DeepEqual(dc.ConnectedAll(pairs), restored.ConnectedAll(pairs)) {
+				t.Fatalf("par %d: post-restore answers diverged at batch %d", par, i)
+			}
+		}
+		if !reflect.DeepEqual(dc.Cluster().Stats(), restored.Cluster().Stats()) {
+			t.Fatalf("par %d: post-restore Stats diverged:\n  live:     %+v\n  restored: %+v",
+				par, dc.Cluster().Stats(), restored.Cluster().Stats())
+		}
+	}
+}
+
+// TestSnapshotConfigMismatch pins the fail-loudly contract: restoring into
+// an instance of a different shape is a descriptive error, not corruption.
+func TestSnapshotConfigMismatch(t *testing.T) {
+	dc, _ := warmInstance(t, 64, 1, 3, 5)
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, dc); err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := core.NewDynamicConnectivity(core.Config{N: 48, Phi: 0.6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Load(bytes.NewReader(buf.Bytes()), smaller); err == nil ||
+		!strings.Contains(err.Error(), "N=64") {
+		t.Fatalf("N mismatch not rejected: %v", err)
+	}
+	otherSeed, err := core.NewDynamicConnectivity(core.Config{N: 64, Phi: 0.6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Load(bytes.NewReader(buf.Bytes()), otherSeed); err == nil ||
+		!strings.Contains(err.Error(), "Seed") {
+		t.Fatalf("seed mismatch not rejected: %v", err)
+	}
+}
+
+// TestSnapshotCorruptionRejected flips bytes across a real connectivity
+// snapshot: every corruption must be rejected by the container layer
+// before any state is touched.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	dc, _ := warmInstance(t, 48, 1, 3, 7)
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, dc); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, at := range []int{0, 8, 16, 24, len(data) / 2, len(data) - 1} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[at] ^= 0x20
+		fresh, err := core.NewDynamicConnectivity(core.Config{N: 48, Phi: 0.6, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snapshot.Load(bytes.NewReader(corrupt), fresh); err == nil {
+			t.Errorf("corruption at byte %d applied without error", at)
+		}
+	}
+}
+
+// TestQueryVertexOutOfRange pins the query-API bounds check: an
+// out-of-range vertex fails with the documented diagnostic instead of an
+// index error deep inside the label cache.
+func TestQueryVertexOutOfRange(t *testing.T) {
+	dc, _ := warmInstance(t, 48, 1, 2, 9)
+	for name, fn := range map[string]func(){
+		"Connected":        func() { dc.Connected(3, 48) },
+		"ConnectedAll":     func() { dc.ConnectedAll([]core.Pair{{U: 0, V: 99}}) },
+		"ComponentsOf":     func() { dc.ComponentsOf([]int{-1}) },
+		"ComponentsOfInto": func() { dc.ComponentsOfInto(nil, []int{48}) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: out-of-range vertex not rejected", name)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "core: query vertex") {
+					t.Errorf("%s: panic %v lacks the diagnostic message", name, r)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// BenchmarkCheckpoint measures serializing a warmed connectivity instance
+// into an in-memory snapshot (the per-crash cost of the fault-injection
+// scenarios and the soak-run checkpoint cadence).
+func BenchmarkCheckpoint(b *testing.B) {
+	dc, _ := warmInstance(b, 128, 1, 8, 13)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snapshot.Save(&buf, dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkRestore measures decoding and applying a snapshot into an
+// already-constructed instance (restore is an overwrite, so one target
+// instance is reused across iterations).
+func BenchmarkRestore(b *testing.B) {
+	dc, _ := warmInstance(b, 128, 1, 8, 13)
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, dc); err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.NewDynamicConnectivity(core.Config{N: 128, Phi: 0.6, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := snapshot.Load(bytes.NewReader(data), target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

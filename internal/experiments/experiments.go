@@ -1,14 +1,16 @@
 // Package experiments implements the measurement harness: one function per
-// experiment E1–E14, each exercising the corresponding theorem's algorithm
-// (or, for E13/E14, the simulator substrate and the scenario registry) on a
-// seeded oblivious workload and returning the table rows the experiment
-// reports. The root bench_test.go and cmd/experiments both drive these
+// experiment E1–E16, each exercising the corresponding theorem's algorithm
+// (or, for E13/E14/E16, the simulator substrate, the scenario registry, and
+// the crash-recovery subsystem) on a seeded oblivious workload and
+// returning the table rows the experiment reports. The root bench_test.go and cmd/experiments both drive these
 // functions; see README.md "Experiments" for the table catalogue.
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"os"
 	"reflect"
 	"strings"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/msf"
 	"repro/internal/oracle"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -734,5 +737,85 @@ func E15QueryThroughput(sizes []int, batches, queries int, seed uint64) *Table {
 	t.Remarks = append(t.Remarks,
 		"claim: N queries cost one broadcast + one flat aggregation (O(1/phi) rounds total) instead of N collectives",
 		"warm repeats answer from the coordinator label cache with zero MPC rounds; every batched answer is oracle-verified")
+	return t
+}
+
+// E16CrashRecovery exercises the crash-safe checkpoint/restore subsystem
+// (internal/snapshot): for each size it runs dynamic connectivity over the
+// powerlaw scenario twice — uninterrupted, and with seeded kill/restore
+// cycles (the cluster state is checkpointed, torn down, rebuilt, and
+// restored mid-stream) — and demands that the final Stats, component
+// labels, and maintained forest are bit-identical; both runs are
+// oracle-verified. With a non-empty checkpointPath the crash run's final
+// state is additionally round-tripped through a snapshot file on disk, and
+// with a non-empty resumePath an existing snapshot file is restored and
+// re-verified instead of the in-memory image (restart-without-replay).
+func E16CrashRecovery(sizes []int, batches, every int, seed uint64, checkpointPath, resumePath string) *Table {
+	t := &Table{
+		Title:  "E16: crash recovery, kill+restore vs uninterrupted",
+		Header: []string{"n", "batches", "crashes", "rounds", "snapshot words", "bit-identical"},
+	}
+	for _, n := range sizes {
+		runOnce := func(crashEvery int) (*core.DynamicConnectivity, *graph.Graph, int, int) {
+			dc, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
+			must(err)
+			gen := workload.NewPowerLaw(n, seed+1, 0.25, 0)
+			var sched *workload.CrashSchedule
+			if crashEvery > 0 {
+				sched = workload.NewCrashSchedule(seed+3, crashEvery)
+			}
+			crashes, snapWords := 0, 0
+			for i := 0; i < batches; i++ {
+				must(dc.ApplyBatch(gen.Next(dc.MaxBatch())))
+				if sched != nil && sched.Crash() {
+					var buf bytes.Buffer
+					must(snapshot.Save(&buf, dc))
+					snapWords = buf.Len() / 8
+					fresh, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
+					must(err)
+					must(snapshot.Load(&buf, fresh))
+					dc = fresh
+					crashes++
+				}
+			}
+			must(harness.VerifyConnectivity(dc, gen.Mirror()))
+			return dc, gen.Mirror(), crashes, snapWords
+		}
+		base, _, _, _ := runOnce(0)
+		crashed, _, crashes, snapWords := runOnce(every)
+		identical := reflect.DeepEqual(base.Cluster().Stats(), crashed.Cluster().Stats()) &&
+			reflect.DeepEqual(base.SnapshotComponents(), crashed.SnapshotComponents()) &&
+			reflect.DeepEqual(base.SnapshotForest(), crashed.SnapshotForest())
+		t.Rows = append(t.Rows, []string{
+			d(n), d(batches), d(crashes), d(crashed.Cluster().Stats().Rounds),
+			d(snapWords), fmt.Sprintf("%v", identical),
+		})
+		if n == sizes[len(sizes)-1] {
+			if checkpointPath != "" {
+				f, err := os.Create(checkpointPath)
+				must(err)
+				must(snapshot.Save(f, crashed))
+				must(f.Close())
+				t.Remarks = append(t.Remarks, fmt.Sprintf("final state written to %s", checkpointPath))
+			}
+			if resumePath != "" {
+				fresh, err := core.NewDynamicConnectivity(cfg(n, 0.6, seed))
+				must(err)
+				f, err := os.Open(resumePath)
+				must(err)
+				loadErr := snapshot.Load(f, fresh)
+				f.Close()
+				if loadErr != nil {
+					t.Remarks = append(t.Remarks, fmt.Sprintf("resume from %s rejected: %v", resumePath, loadErr))
+				} else {
+					match := reflect.DeepEqual(fresh.SnapshotComponents(), crashed.SnapshotComponents())
+					t.Remarks = append(t.Remarks, fmt.Sprintf("resumed %s (components match current run: %v)", resumePath, match))
+				}
+			}
+		}
+	}
+	t.Remarks = append(t.Remarks,
+		"claim: checkpoint -> kill -> restore -> continue is bit-identical to never crashing (Stats, labels, forest)",
+		"crash points are a seeded oblivious schedule (workload.NewCrashSchedule); both runs pass the brute-force oracle")
 	return t
 }

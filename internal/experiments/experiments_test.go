@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -142,5 +144,35 @@ func TestE13Small(t *testing.T) {
 		if r[5] != "true" {
 			t.Errorf("stats not identical across engines: %v", r)
 		}
+	}
+}
+
+func TestE16Small(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e16.snap")
+	tb := E16CrashRecovery([]int{48}, 8, 3, 16, path, "")
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][5] != "true" {
+		t.Errorf("crash run not bit-identical: %v", tb.Rows[0])
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+	// Resume from the file we just wrote: the remark must report a match,
+	// never a rejection.
+	tb = E16CrashRecovery([]int{48}, 8, 3, 16, "", path)
+	found := false
+	for _, r := range tb.Remarks {
+		if strings.Contains(r, "components match current run: true") {
+			found = true
+		}
+		if strings.Contains(r, "rejected") {
+			t.Errorf("valid snapshot rejected: %s", r)
+		}
+	}
+	if !found {
+		t.Errorf("resume remark missing: %v", tb.Remarks)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/msf"
 	"repro/internal/nowickionak"
 	"repro/internal/oracle"
+	"repro/internal/snapshot"
 )
 
 // This file adapts every dynamic algorithm in the repository to the
@@ -58,15 +59,19 @@ func VerifyConnectivity(dc *core.DynamicConnectivity, g *graph.Graph) error {
 
 type connectivityInstance struct{ dc *core.DynamicConnectivity }
 
-func (c connectivityInstance) MaxBatch() int              { return c.dc.MaxBatch() }
-func (c connectivityInstance) Apply(b graph.Batch) error  { return c.dc.ApplyBatch(b) }
-func (c connectivityInstance) Check(g *graph.Graph) error { return VerifyConnectivity(c.dc, g) }
-func (c connectivityInstance) Rounds() int                { return c.dc.Cluster().Stats().Rounds }
+func (c connectivityInstance) MaxBatch() int                     { return c.dc.MaxBatch() }
+func (c connectivityInstance) Apply(b graph.Batch) error         { return c.dc.ApplyBatch(b) }
+func (c connectivityInstance) Check(g *graph.Graph) error        { return VerifyConnectivity(c.dc, g) }
+func (c connectivityInstance) Rounds() int                       { return c.dc.Cluster().Stats().Rounds }
+func (c connectivityInstance) Checkpoint(e *snapshot.Encoder)    { c.dc.Checkpoint(e) }
+func (c connectivityInstance) Restore(d *snapshot.Decoder) error { return c.dc.Restore(d) }
 
 type bipartiteInstance struct{ t *bipartite.Tester }
 
-func (b bipartiteInstance) MaxBatch() int              { return b.t.MaxBatch() }
-func (b bipartiteInstance) Apply(bt graph.Batch) error { return b.t.ApplyBatch(bt) }
+func (b bipartiteInstance) MaxBatch() int                     { return b.t.MaxBatch() }
+func (b bipartiteInstance) Apply(bt graph.Batch) error        { return b.t.ApplyBatch(bt) }
+func (b bipartiteInstance) Checkpoint(e *snapshot.Encoder)    { b.t.Checkpoint(e) }
+func (b bipartiteInstance) Restore(d *snapshot.Decoder) error { return b.t.Restore(d) }
 func (b bipartiteInstance) Rounds() int {
 	return b.t.Graph().Cluster().Stats().Rounds + b.t.Cover().Cluster().Stats().Rounds
 }
@@ -80,8 +85,10 @@ func (b bipartiteInstance) Check(g *graph.Graph) error {
 
 type exactMSFInstance struct{ m *msf.ExactMSF }
 
-func (e exactMSFInstance) MaxBatch() int { return e.m.Forest().Config().MaxBatch() }
-func (e exactMSFInstance) Rounds() int   { return e.m.Forest().Cluster().Stats().Rounds }
+func (e exactMSFInstance) MaxBatch() int                     { return e.m.Forest().Config().MaxBatch() }
+func (e exactMSFInstance) Rounds() int                       { return e.m.Forest().Cluster().Stats().Rounds }
+func (e exactMSFInstance) Checkpoint(enc *snapshot.Encoder)  { e.m.Checkpoint(enc) }
+func (e exactMSFInstance) Restore(d *snapshot.Decoder) error { return e.m.Restore(d) }
 func (e exactMSFInstance) Apply(b graph.Batch) error {
 	edges := make([]graph.WeightedEdge, 0, len(b))
 	for _, u := range b {
@@ -118,9 +125,11 @@ type approxMSFInstance struct {
 	eps float64
 }
 
-func (a approxMSFInstance) MaxBatch() int             { return a.a.MaxBatch() }
-func (a approxMSFInstance) Apply(b graph.Batch) error { return a.a.ApplyBatch(b) }
-func (a approxMSFInstance) Rounds() int               { return -1 }
+func (a approxMSFInstance) MaxBatch() int                     { return a.a.MaxBatch() }
+func (a approxMSFInstance) Apply(b graph.Batch) error         { return a.a.ApplyBatch(b) }
+func (a approxMSFInstance) Rounds() int                       { return -1 }
+func (a approxMSFInstance) Checkpoint(e *snapshot.Encoder)    { a.a.Checkpoint(e) }
+func (a approxMSFInstance) Restore(d *snapshot.Decoder) error { return a.a.Restore(d) }
 func (a approxMSFInstance) Check(g *graph.Graph) error {
 	_, want := oracle.MSF(g)
 	if want == 0 {
@@ -148,8 +157,10 @@ type greedyMatchingInstance struct {
 	gm *matching.GreedyInsertOnly
 }
 
-func (g greedyMatchingInstance) MaxBatch() int { return 8 }
-func (g greedyMatchingInstance) Rounds() int   { return g.gm.Cluster().Stats().Rounds }
+func (g greedyMatchingInstance) MaxBatch() int                     { return 8 }
+func (g greedyMatchingInstance) Rounds() int                       { return g.gm.Cluster().Stats().Rounds }
+func (g greedyMatchingInstance) Checkpoint(e *snapshot.Encoder)    { g.gm.Checkpoint(e) }
+func (g greedyMatchingInstance) Restore(d *snapshot.Decoder) error { return g.gm.Restore(d) }
 func (g greedyMatchingInstance) Apply(b graph.Batch) error {
 	edges := make([]graph.Edge, 0, len(b))
 	for _, u := range b {
@@ -181,9 +192,11 @@ type aklyInstance struct {
 	alpha float64
 }
 
-func (a aklyInstance) MaxBatch() int             { return 8 }
-func (a aklyInstance) Apply(b graph.Batch) error { return a.d.ApplyBatch(b) }
-func (a aklyInstance) Rounds() int               { return -1 }
+func (a aklyInstance) MaxBatch() int                     { return 8 }
+func (a aklyInstance) Apply(b graph.Batch) error         { return a.d.ApplyBatch(b) }
+func (a aklyInstance) Rounds() int                       { return -1 }
+func (a aklyInstance) Checkpoint(e *snapshot.Encoder)    { a.d.Checkpoint(e) }
+func (a aklyInstance) Restore(d *snapshot.Decoder) error { return a.d.Restore(d) }
 func (a aklyInstance) Check(g *graph.Graph) error {
 	m := a.d.Matching()
 	if !oracle.IsMatching(g, m) {
@@ -208,9 +221,11 @@ func (a aklyInstance) FinalCheck(g *graph.Graph) error {
 
 type nowickiOnakInstance struct{ m *nowickionak.Matcher }
 
-func (n nowickiOnakInstance) MaxBatch() int             { return 8 }
-func (n nowickiOnakInstance) Apply(b graph.Batch) error { return n.m.ApplyBatch(b) }
-func (n nowickiOnakInstance) Rounds() int               { return n.m.Cluster().Stats().Rounds }
+func (n nowickiOnakInstance) MaxBatch() int                     { return 8 }
+func (n nowickiOnakInstance) Apply(b graph.Batch) error         { return n.m.ApplyBatch(b) }
+func (n nowickiOnakInstance) Rounds() int                       { return n.m.Cluster().Stats().Rounds }
+func (n nowickiOnakInstance) Checkpoint(e *snapshot.Encoder)    { n.m.Checkpoint(e) }
+func (n nowickiOnakInstance) Restore(d *snapshot.Decoder) error { return n.m.Restore(d) }
 func (n nowickiOnakInstance) Check(g *graph.Graph) error {
 	if !oracle.IsMaximalMatching(g, n.m.Matching()) {
 		return fmt.Errorf("maintained matching is not maximal on the mirror")

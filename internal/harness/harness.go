@@ -14,10 +14,12 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -52,6 +54,16 @@ type Options struct {
 	// once at the end (default 1: every batch). Negative disables all
 	// checks — benchmark mode, measuring pure harness overhead.
 	CheckEvery int
+	// CrashEvery > 0 decorates the run with fault injection: at seeded
+	// batch indices (one crash per CrashEvery batches on average, drawn
+	// from workload.NewCrashSchedule) the instance is checkpointed, torn
+	// down, rebuilt from scratch, and restored — so every scenario doubles
+	// as a crash/recovery scenario. Requires the algorithm to implement
+	// Checkpointable. Results, oracle checks, and (for deterministic
+	// algorithms) Stats are identical to an uninterrupted run.
+	CrashEvery int
+	// CrashSeed seeds the crash schedule (default Seed+3).
+	CrashSeed uint64
 }
 
 // withDefaults fills unset fields.
@@ -77,6 +89,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckEvery == 0 {
 		o.CheckEvery = 1
 	}
+	if o.CrashSeed == 0 {
+		o.CrashSeed = o.Seed + 3
+	}
 	return o
 }
 
@@ -99,6 +114,17 @@ type Instance interface {
 // a with-high-probability bound too noisy to assert after every batch).
 type finalChecker interface {
 	FinalCheck(mirror *graph.Graph) error
+}
+
+// Checkpointable is the optional Instance extension for crash-safe
+// checkpoint/restore: Checkpoint serializes the instance's full state into
+// a snapshot encoder and Restore loads it into a freshly constructed
+// instance of the same options. Every registered algorithm implements it,
+// which is what lets Options.CrashEvery turn any scenario into a
+// crash/recovery scenario.
+type Checkpointable interface {
+	snapshot.Checkpointer
+	snapshot.Restorer
 }
 
 // Algorithm is a registry entry: a named dynamic algorithm plus the
@@ -172,6 +198,8 @@ type Report struct {
 	FinalEdges int
 	// Rounds is the cumulative MPC round count, or -1 if not cluster-backed.
 	Rounds int
+	// Crashes counts the injected kill/restore cycles (Options.CrashEvery).
+	Crashes int
 }
 
 // String renders the report in one line.
@@ -180,8 +208,12 @@ func (r *Report) String() string {
 	if r.Rounds >= 0 {
 		rounds = fmt.Sprintf("%d", r.Rounds)
 	}
-	return fmt.Sprintf("%s over %s: %d batches, %d updates, %d edges final, %d checks passed, %s rounds",
-		r.Algorithm, r.Scenario, r.Batches, r.Updates, r.FinalEdges, r.Checks, rounds)
+	crashes := ""
+	if r.Crashes > 0 {
+		crashes = fmt.Sprintf(", %d crash/restore cycles", r.Crashes)
+	}
+	return fmt.Sprintf("%s over %s: %d batches, %d updates, %d edges final, %d checks passed, %s rounds%s",
+		r.Algorithm, r.Scenario, r.Batches, r.Updates, r.FinalEdges, r.Checks, rounds, crashes)
 }
 
 // Run streams the named scenario through the named algorithm, checking the
@@ -210,6 +242,13 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 	if err != nil {
 		return nil, err
 	}
+	var crash *workload.CrashSchedule
+	if opt.CrashEvery > 0 {
+		if _, ok := inst.(Checkpointable); !ok {
+			return nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery)", algo.Name)
+		}
+		crash = workload.NewCrashSchedule(opt.CrashSeed, opt.CrashEvery)
+	}
 	gen := sc.New(opt.N, opt.Seed+1)
 	size := inst.MaxBatch()
 	if opt.BatchSize > 0 && opt.BatchSize < size {
@@ -232,6 +271,13 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 			}
 			rep.Checks++
 		}
+		if crash != nil && crash.Crash() {
+			inst, err = killRestore(algo, opt, inst)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, sc.Name, i, err)
+			}
+			rep.Crashes++
+		}
 	}
 	if opt.CheckEvery >= 0 {
 		if err := inst.Check(gen.Mirror()); err != nil {
@@ -248,4 +294,23 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 	rep.FinalEdges = gen.Mirror().M()
 	rep.Rounds = inst.Rounds()
 	return rep, nil
+}
+
+// killRestore simulates a process crash: the live instance is checkpointed
+// into a snapshot, dropped, and a fresh instance built from the same
+// options is restored from it. The generator (the outside world) survives;
+// only the cluster state dies.
+func killRestore(algo Algorithm, opt Options, inst Instance) (Instance, error) {
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, inst.(Checkpointable)); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	fresh, err := algo.New(opt)
+	if err != nil {
+		return nil, fmt.Errorf("rebuild: %w", err)
+	}
+	if err := snapshot.Load(&buf, fresh.(Checkpointable)); err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	return fresh, nil
 }

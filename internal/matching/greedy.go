@@ -158,12 +158,14 @@ func (g *GreedyInsertOnly) InsertBatch(edges []graph.Edge) error {
 func (g *GreedyInsertOnly) queryStatus() map[int]int {
 	res := g.cl.AggregateBatches(g.coord,
 		func(mm *mpc.Machine) *mpc.MessageBatch {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			sh, ok := mm.Get(slotShard).(*greedyShard)
 			if !ok {
 				return nil
 			}
 			var owned []int
-			for _, e := range mm.Get(slotBcast).(edgesPayload).edges {
+			for _, e := range payload.(edgesPayload).edges {
 				for _, v := range [2]int{e.U, e.V} {
 					if v >= sh.lo && v < sh.hi {
 						owned = append(owned, v)

@@ -106,12 +106,14 @@ func (p diffsPayload) Words() int { return 5 * len(p.ds) }
 func (sp *sparsifier) applyBatch(b graph.Batch) error {
 	sp.cl.Broadcast(sp.coord, slotBcast, batchPayload{b: b})
 	gathered := sp.cl.Gather(sp.coord, func(mm *mpc.Machine) mpc.Sized {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		sh, ok := mm.Get(slotShard).(*sparsifierShard)
 		if !ok {
 			return nil
 		}
 		touched := map[pairKey]bool{}
-		for _, u := range mm.Get(slotBcast).(batchPayload).b {
+		for _, u := range payload.(batchPayload).b {
 			e := u.Edge.Canonical()
 			p, ok := sp.classify(e)
 			if !ok {

@@ -102,6 +102,31 @@ func (b *MessageBatch) Frames(yield func(frame []uint64) bool) {
 	}
 }
 
+// Raw exposes the batch's underlying length-prefixed frame buffer for
+// codecs that persist batches verbatim (the snapshot container stores its
+// sections as one frame each). The slice is valid until the next
+// Append/Grow/Reset and must be treated as read-only.
+func (b *MessageBatch) Raw() []uint64 { return b.buf }
+
+// MessageBatchFromRaw wraps a length-prefixed frame buffer (as returned by
+// Raw) as a batch, validating the frame structure first: unlike the
+// routing hot path — where a corrupt frame is a programming error and
+// panics — this entry point is for decoding external input (snapshot
+// files), so a malformed prefix is returned as an error.
+func MessageBatchFromRaw(buf []uint64) (*MessageBatch, error) {
+	frames, words := 0, 0
+	for off := 0; off < len(buf); {
+		n := buf[off]
+		if n > uint64(len(buf)-off-1) {
+			return nil, fmt.Errorf("mpc: frame at word %d: length %d overruns buffer of %d words", off, n, len(buf))
+		}
+		frames++
+		words += int(n)
+		off += 1 + int(n)
+	}
+	return &MessageBatch{buf: buf, frames: frames, words: words}, nil
+}
+
 // BatchCursor walks a batch's frames one at a time; it supports lock-step
 // iteration over several batches (as the sketch merge-join needs).
 type BatchCursor struct {

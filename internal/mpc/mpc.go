@@ -253,6 +253,15 @@ func (c *Cluster) Stats() Stats { return c.stats }
 // a phase in isolation.
 func (c *Cluster) ResetStats() { c.stats = Stats{} }
 
+// RestoreStats overwrites the metrics wholesale, as part of restoring a
+// checkpoint: together with reloaded machine stores this makes a resumed
+// execution's Stats bit-identical to an uninterrupted one. The violations
+// slice is copied so the caller's snapshot buffers are not aliased.
+func (c *Cluster) RestoreStats(st Stats) {
+	st.Violations = append([]string(nil), st.Violations...)
+	c.stats = st
+}
+
 // violate records or raises a cap violation.
 func (c *Cluster) violate(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)

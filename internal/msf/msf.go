@@ -36,6 +36,19 @@ type ExactMSF struct {
 	weightOK bool
 }
 
+// weightMeter folds the driver-level cached forest-weight readout into the
+// MPC memory ledger (one word while the cache is valid), like the
+// coordinator label-cache metering in package core.
+type weightMeter struct{ m *ExactMSF }
+
+// Words implements mpc.Sized.
+func (w weightMeter) Words() int {
+	if w.m.weightOK {
+		return 1
+	}
+	return 0
+}
+
 // NewExactMSF creates the forest engine for an empty graph on cfg.N
 // vertices.
 func NewExactMSF(cfg core.Config) (*ExactMSF, error) {
@@ -43,7 +56,9 @@ func NewExactMSF(cfg core.Config) (*ExactMSF, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExactMSF{f: f}, nil
+	m := &ExactMSF{f: f}
+	f.MeterCoordinator("wc", weightMeter{m})
+	return m, nil
 }
 
 // Forest exposes the underlying engine for metering and snapshots.

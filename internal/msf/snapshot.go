@@ -1,0 +1,78 @@
+package msf
+
+// Checkpoint/restore of the MSF algorithms (see package snapshot). The
+// exact MSF is its weighted forest plus driver-level counters; the
+// approximate structures are their per-level connectivity instances (the
+// thresholds are rederived from eps and validated by the level count).
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// Section tags of the msf layer.
+const (
+	tagExactMSF  = 0x20
+	tagApproxMSF = 0x21
+)
+
+// Checkpoint serializes the exact-MSF state: the driver-level counters and
+// the underlying weighted forest.
+func (m *ExactMSF) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagExactMSF)
+	e.Int(m.swapWaves)
+	e.I64(m.weight)
+	e.Bool(m.weightOK)
+	m.f.Checkpoint(e)
+}
+
+// Restore loads a checkpoint written by Checkpoint into this freshly
+// constructed instance. On error the instance must be discarded.
+func (m *ExactMSF) Restore(d *snapshot.Decoder) error {
+	d.Begin(tagExactMSF)
+	m.swapWaves = d.Int()
+	m.weight = d.I64()
+	m.weightOK = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return m.f.Restore(d)
+}
+
+// Checkpoint serializes every level's connectivity instance.
+func (a *ApproxMSFWeight) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagApproxMSF)
+	e.Int(a.n)
+	e.F64(a.eps)
+	e.Int(len(a.levels))
+	for _, dc := range a.levels {
+		dc.Checkpoint(e)
+	}
+}
+
+// Restore loads a checkpoint written by Checkpoint. The instance must have
+// been built with the same configuration (eps and maxWeight determine the
+// level count, which is validated). On error the instance must be
+// discarded.
+func (a *ApproxMSFWeight) Restore(d *snapshot.Decoder) error {
+	d.Begin(tagApproxMSF)
+	n := d.Int()
+	eps := d.F64()
+	levels := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != a.n || eps != a.eps {
+		return fmt.Errorf("msf: snapshot of (n=%d, eps=%v) restored into (n=%d, eps=%v)", n, eps, a.n, a.eps)
+	}
+	if levels != len(a.levels) {
+		return fmt.Errorf("msf: snapshot of %d levels restored into %d", levels, len(a.levels))
+	}
+	for _, dc := range a.levels {
+		if err := dc.Restore(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

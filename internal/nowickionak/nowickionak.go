@@ -26,7 +26,21 @@ import (
 const (
 	slotShard = "no"
 	slotBcast = "b"
+	slotSize  = "sc" // coordinator size-cache meter (sizeMeter)
 )
+
+// sizeMeter folds the coordinator's cached matching-size readout into the
+// MPC memory ledger (one word while the cache is valid), mirroring the
+// label-cache metering of package core.
+type sizeMeter struct{ m *Matcher }
+
+// Words implements mpc.Sized.
+func (s sizeMeter) Words() int {
+	if s.m.sizeOK {
+		return 1
+	}
+	return 0
+}
 
 // shard is one machine's vertex range: adjacency lists (every edge stored
 // with both endpoints, with multiplicity — the sparsifiers of Section 8 can
@@ -104,6 +118,7 @@ func New(cfg Config) (*Matcher, error) {
 		}
 		mm.Set(slotShard, sh)
 	})
+	cl.Machine(m.coord).Set(slotSize, sizeMeter{m})
 	return m, nil
 }
 
@@ -203,12 +218,16 @@ func (m *Matcher) ApplyBatch(b graph.Batch) error {
 // deleted batch edges now have multiplicity zero.
 func (m *Matcher) vanishedEdges(b graph.Batch) map[graph.Edge]bool {
 	gathered := m.cl.Gather(m.coord, func(mm *mpc.Machine) mpc.Sized {
+		// Last consumer of the batch broadcast: drop the transient payload so
+		// no machine retains it past the operation (checkpoint cleanliness).
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		sh := getShard(mm)
 		if sh == nil {
 			return nil
 		}
 		var gone []graph.Edge
-		for _, u := range mm.Get(slotBcast).(batchPayload).b {
+		for _, u := range payload.(batchPayload).b {
 			if u.Op != graph.Delete {
 				continue
 			}
@@ -245,12 +264,14 @@ func (m *Matcher) matchStatus(vertices []int) map[int]int {
 	m.cl.Broadcast(m.coord, slotBcast, mpc.Ints(q))
 	res := m.cl.Aggregate(m.coord,
 		func(mm *mpc.Machine) mpc.Sized {
+			payload := mm.Get(slotBcast)
+			mm.Delete(slotBcast)
 			sh := getShard(mm)
 			if sh == nil {
 				return nil
 			}
 			out := map[int]int{}
-			for _, v := range mm.Get(slotBcast).(mpc.Ints) {
+			for _, v := range payload.(mpc.Ints) {
 				if sh.owns(v) {
 					out[v] = sh.match[v-sh.lo]
 				}
@@ -289,11 +310,13 @@ func (m *Matcher) applyMatchChanges(unmatch, match []graph.Edge) {
 	}
 	m.cl.Broadcast(m.coord, slotBcast, matchChange{unmatch: unmatch, match: match})
 	m.cl.LocalAll(func(mm *mpc.Machine) {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		sh := getShard(mm)
 		if sh == nil {
 			return
 		}
-		c := mm.Get(slotBcast).(matchChange)
+		c := payload.(matchChange)
 		for _, e := range c.unmatch {
 			for _, v := range []int{e.U, e.V} {
 				if sh.owns(v) {
@@ -391,12 +414,14 @@ func (m *Matcher) rematchRound(pending []int) []bool {
 	sawFree := make([]bool, m.n)
 	// Step A: owners of pending vertices propose to every neighbor.
 	m.cl.Step(func(mm *mpc.Machine, inbox []mpc.Message) []mpc.Message {
+		payload := mm.Get(slotBcast)
+		mm.Delete(slotBcast)
 		sh := getShard(mm)
 		if sh == nil {
 			return nil
 		}
 		byOwner := map[int]*mpc.MessageBatch{}
-		for _, v := range mm.Get(slotBcast).(mpc.Ints) {
+		for _, v := range payload.(mpc.Ints) {
 			if !sh.owns(v) || sh.match[v-sh.lo] != -1 {
 				continue
 			}

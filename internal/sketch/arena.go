@@ -49,3 +49,19 @@ func (a *Arena) At(i int) Sketch {
 func (a *Arena) VertexAt(i, n int) VertexSketch {
 	return VertexView(a.At(i), n)
 }
+
+// Raw exposes the arena's contiguous backing words for checkpoint codecs.
+// Like Sketch.Cells, the slice is the arena's private state: treat it as
+// read-only and do not retain it across arena mutations.
+func (a *Arena) Raw() []uint64 { return a.buf }
+
+// LoadRaw overwrites the arena's backing words from a checkpointed image.
+// The image must come from an arena of the same shape (same Space
+// parameters and sketch count); a length mismatch is rejected.
+func (a *Arena) LoadRaw(words []uint64) error {
+	if len(words) != len(a.buf) {
+		return fmt.Errorf("sketch: arena image of %d words, want %d (shape mismatch)", len(words), len(a.buf))
+	}
+	copy(a.buf, words)
+	return nil
+}

@@ -1,0 +1,120 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapshotDecode hammers the snapshot container decoder with arbitrary
+// bytes: it must never panic, and any input that passes the container
+// checks must decode cleanly section by section (every frame fully
+// walkable). The checked-in corpus seeds a valid snapshot plus truncated,
+// bit-flipped, and version-skewed variants of it.
+func FuzzSnapshotDecode(f *testing.F) {
+	// A small valid snapshot as the seed everything else mutates from.
+	e := NewEncoder()
+	e.Begin(1)
+	e.Int(42)
+	e.U64s([]uint64{7, 8, 9})
+	e.String("seed")
+	e.Begin(2)
+	e.Bool(true)
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9]) // truncated mid-CRC
+	f.Add(valid[:16])           // truncated header
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	skewed := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(skewed[8:], Version+7)
+	f.Add(skewed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the expected outcome for corrupt input
+		}
+		// Accepted containers must be fully walkable without panics: read
+		// every section's words through the typed accessors.
+		for {
+			_, ok := d.Next()
+			if !ok {
+				break
+			}
+			for d.Err() == nil {
+				if len(d.cur)-d.off == 0 {
+					break
+				}
+				_ = d.U64()
+			}
+			if d.Err() != nil {
+				break
+			}
+		}
+		_ = d.Finish()
+		// Second pass through the length-prefixed accessors: whatever the
+		// section words hold, U64s/String/Ints may error but never panic.
+		d2, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, ok := d2.Next(); !ok {
+				break
+			}
+			_ = d2.U64s()
+			_ = d2.String()
+			_ = d2.Ints()
+			if d2.Err() != nil {
+				break
+			}
+		}
+	})
+}
+
+// FuzzSnapshotRoundTrip drives the encoder with fuzz-chosen values and
+// asserts decode returns them exactly.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(5), int64(-3), "x", true)
+	f.Add(uint64(0), int64(1<<62), "", false)
+	f.Fuzz(func(t *testing.T, a uint64, b int64, s string, c bool) {
+		e := NewEncoder()
+		e.Begin(11)
+		e.U64(a)
+		e.I64(b)
+		e.String(s)
+		e.Bool(c)
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDecoder(&buf)
+		if err != nil {
+			t.Fatalf("valid snapshot rejected: %v", err)
+		}
+		d.Begin(11)
+		if got := d.U64(); got != a {
+			t.Errorf("U64 = %d, want %d", got, a)
+		}
+		if got := d.I64(); got != b {
+			t.Errorf("I64 = %d, want %d", got, b)
+		}
+		if got := d.String(); got != s {
+			t.Errorf("String = %q, want %q", got, s)
+		}
+		if got := d.Bool(); got != c {
+			t.Errorf("Bool = %v, want %v", got, c)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

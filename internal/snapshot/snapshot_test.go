@@ -1,0 +1,251 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/mpc"
+)
+
+// roundTrip encodes a representative mix of values and returns the bytes.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	e := NewEncoder()
+	e.Begin(7)
+	e.U64(42)
+	e.Int(-17)
+	e.I64(-1 << 40)
+	e.F64(0.625)
+	e.Bool(true)
+	e.Bool(false)
+	e.U64s([]uint64{1, 2, 3})
+	e.Ints([]int{-1, 0, 1})
+	e.String("hello, snapshot")
+	e.Begin(9)
+	e.String("") // empty string edge case
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := encodeSample(t)
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(7)
+	if got := d.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.Int(); got != -17 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.I64(); got != -1<<40 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 0.625 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip broken")
+	}
+	if got := d.U64s(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := d.Ints(); len(got) != 3 || got[0] != -1 {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := d.String(); got != "hello, snapshot" {
+		t.Errorf("String = %q", got)
+	}
+	d.Begin(9)
+	if got := d.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderRejectsBadMagic(t *testing.T) {
+	data := encodeSample(t)
+	data[0] ^= 0xff
+	if _, err := NewDecoder(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+func TestDecoderRejectsVersionSkew(t *testing.T) {
+	data := encodeSample(t)
+	binary.LittleEndian.PutUint64(data[8:], Version+1)
+	if _, err := NewDecoder(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew accepted: %v", err)
+	}
+}
+
+func TestDecoderRejectsTruncation(t *testing.T) {
+	data := encodeSample(t)
+	for _, cut := range []int{len(data) - 8, len(data) - 3, 24, 8, 0} {
+		if _, err := NewDecoder(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestDecoderRejectsBitFlips(t *testing.T) {
+	data := encodeSample(t)
+	// Flip one bit in every byte position in turn: the CRC (or, for header
+	// bytes, the structural checks) must reject every single one.
+	for i := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 1 << uint(i%8)
+		if _, err := NewDecoder(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestDecoderSectionSkew(t *testing.T) {
+	data := encodeSample(t)
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(8) // wrong tag
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "section") {
+		t.Fatalf("tag mismatch not detected: %v", d.Err())
+	}
+}
+
+func TestDecoderUnderflowSticky(t *testing.T) {
+	e := NewEncoder()
+	e.Begin(1)
+	e.U64(5)
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(1)
+	_ = d.U64()
+	_ = d.U64() // underflow
+	if d.Err() == nil {
+		t.Fatal("underflow not detected")
+	}
+	if got := d.U64(); got != 0 {
+		t.Errorf("read after latched error = %d, want 0", got)
+	}
+	if err := d.Finish(); err == nil {
+		t.Error("Finish ignored the latched error")
+	}
+}
+
+// TestStringHugeLengthRejected pins the overflow-safe bounds check: a
+// section whose string length word claims a near-MaxInt64 byte count must
+// latch a diagnostic error, not panic inside make.
+func TestStringHugeLengthRejected(t *testing.T) {
+	e := NewEncoder()
+	e.Begin(1)
+	e.U64(uint64(1<<63 - 3)) // read back as the String length prefix
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(1)
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "overruns") {
+		t.Fatalf("huge string length not rejected: %v", d.Err())
+	}
+}
+
+func TestFinishRejectsUnreadSections(t *testing.T) {
+	data := encodeSample(t)
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing sections not detected: %v", err)
+	}
+}
+
+func TestClusterStatsRoundTrip(t *testing.T) {
+	want := mpc.Stats{
+		Rounds:           12,
+		Messages:         345,
+		WordsSent:        6789,
+		MaxRecvWords:     10,
+		MaxSendWords:     11,
+		PeakMachineWords: 12,
+		PeakTotalWords:   13,
+		Violations:       []string{"machine 3 sent 99 words in one round (cap 10)"},
+	}
+	e := NewEncoder()
+	e.Begin(2)
+	EncodeClusterStats(e, want)
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(2)
+	got := DecodeClusterStats(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Messages != want.Messages ||
+		got.WordsSent != want.WordsSent || got.PeakTotalWords != want.PeakTotalWords ||
+		len(got.Violations) != 1 || got.Violations[0] != want.Violations[0] {
+		t.Errorf("stats round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestSaveLoadComposition(t *testing.T) {
+	var buf bytes.Buffer
+	a := &fakeState{tag: 3, value: 111}
+	b := &fakeState{tag: 4, value: 222}
+	if err := Save(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	ra := &fakeState{tag: 3}
+	rb := &fakeState{tag: 4}
+	if err := Load(&buf, ra, rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.value != 111 || rb.value != 222 {
+		t.Errorf("composed load got (%d, %d)", ra.value, rb.value)
+	}
+}
+
+type fakeState struct {
+	tag   uint64
+	value int
+}
+
+func (f *fakeState) Checkpoint(e *Encoder) {
+	e.Begin(f.tag)
+	e.Int(f.value)
+}
+
+func (f *fakeState) Restore(d *Decoder) error {
+	d.Begin(f.tag)
+	f.value = d.Int()
+	return d.Err()
+}

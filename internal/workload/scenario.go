@@ -108,6 +108,14 @@ func NewReplay(n int, batches []graph.Batch) *Replay {
 	return &Replay{g: graph.New(n), batches: batches}
 }
 
+// NewReplayFrom returns a replay generator whose mirror starts from g
+// instead of an empty graph: the checkpoint-resume path of the CLIs, where
+// a recorded stream continues a restored graph. The replay owns g
+// afterwards.
+func NewReplayFrom(g *graph.Graph, batches []graph.Batch) *Replay {
+	return &Replay{g: g, batches: batches}
+}
+
 // Mirror returns the reference graph of the replayed prefix.
 func (r *Replay) Mirror() *graph.Graph { return r.g }
 

@@ -5,7 +5,11 @@
 // ns/op, >15% on B/op or allocs/op, and >15% on the rounds/query custom
 // metric the query-path benchmarks report from Stats.Rounds deltas; these
 // are the thresholds the CI gate enforces for the sketch/mpc/query
-// hot-path benchmarks. A baseline of 0 B/op is a zero-allocation contract,
+// hot-path benchmarks. Results are keyed by package-qualified benchmark
+// name (from the `pkg:` headers of the bench output), so same-named
+// benchmarks in different packages never overwrite each other, and a
+// duplicate qualified name in the input is rejected instead of silently
+// keeping the last occurrence. A baseline of 0 B/op is a zero-allocation contract,
 // and a baseline of 0 rounds/query is a zero-round contract (the warm
 // label-cache regime): any regression from zero fails the gate.
 //
@@ -52,17 +56,39 @@ type Baseline struct {
 // BenchmarkSketchUpdate-8   123456   987.6 ns/op   0 B/op   0 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
-// parseBench extracts benchmark results from `go test -bench` output.
+// pkgLine matches the `pkg: repro/internal/sketch` header go test prints
+// before a package's benchmark lines.
+var pkgLine = regexp.MustCompile(`^pkg:\s+(\S+)$`)
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// keyed by package-qualified name ("repro/internal/sketch.BenchmarkFoo").
+// Same-named benchmarks from different packages therefore never collide,
+// and a duplicate qualified name — two runs of one package concatenated,
+// or -count > 1 — is an error rather than a silent last-wins overwrite
+// that would gate against the wrong measurement.
 func parseBench(r io.Reader) (map[string]Result, error) {
 	out := map[string]Result{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
-		res := out[m[1]] // keep last occurrence per name
+		key := m[1]
+		if pkg != "" {
+			key = pkg + "." + m[1]
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate benchmark %q in input (one measurement per benchmark: run with -count=1 and do not concatenate runs of the same package)", key)
+		}
+		var res Result
 		fields := strings.Fields(m[2])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -80,7 +106,7 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.RoundsPerQuery = v
 			}
 		}
-		out[m[1]] = res
+		out[key] = res
 	}
 	return out, sc.Err()
 }
