@@ -17,6 +17,9 @@
 // snapshot file on disk: -checkpoint writes E16's final state, -resume
 // restores and re-verifies an existing snapshot (restart-without-replay;
 // a corrupt or version-skewed file is reported as rejected).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run (see
+// README.md "Profiling"); combine with -only to profile one experiment.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 )
 
@@ -43,6 +47,8 @@ func main() {
 		"write the E16 crash-recovery experiment's final state snapshot to this file")
 	resumeFile := flag.String("resume", "",
 		"restore and re-verify an existing snapshot file in the E16 crash-recovery experiment")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *queries < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -queries must be non-negative (got %d)\n", *queries)
@@ -68,6 +74,21 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	for id := range want {
+		switch id {
+		case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
 	run := func(id string, fn func() *experiments.Table) {
 		if len(want) > 0 && !want[id] {
 			return
@@ -149,14 +170,8 @@ func main() {
 	run("E16", func() *experiments.Table {
 		return experiments.E16CrashRecovery(msfSizes, 2*batches, 4, 16, *checkpointFile, *resumeFile)
 	})
-	if len(want) > 0 {
-		for id := range want {
-			switch id {
-			case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16":
-			default:
-				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
-				os.Exit(2)
-			}
-		}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

@@ -38,6 +38,9 @@
 //	mpcstream -algo connectivity -n 256 -batches 50 -checkpoint state.snap
 //	mpcstream -algo connectivity -resume state.snap -stream more.txt
 //	mpcstream -algo connectivity -scenario powerlaw -batches 200 -crash-every 50
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run (see
+// README.md "Profiling").
 package main
 
 import (
@@ -55,6 +58,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/msf"
 	"repro/internal/oracle"
+	"repro/internal/profiling"
 	"repro/internal/snapshot"
 	"repro/internal/streamio"
 	"repro/internal/workload"
@@ -83,6 +87,8 @@ func main() {
 		"restore state from a -checkpoint snapshot before replaying further updates (requires -stream)")
 	crashEvery := flag.Int("crash-every", 0,
 		"with -scenario: inject a seeded kill+checkpoint+restore cycle roughly every k batches (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	// Validate flags before constructing generators or clusters, so a bad
@@ -92,7 +98,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
-	var err error
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpcstream:", err)
+		os.Exit(2)
+	}
 	switch {
 	case *streamFile != "":
 		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *resumeFile, *checkpointFile)
@@ -103,6 +113,14 @@ func main() {
 		})
 	default:
 		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries, *checkpointFile)
+	}
+	// Profiles are written even for a failed run — a hang or slow failure
+	// is exactly when a profile is wanted.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "mpcstream:", perr)
+		if err == nil {
+			os.Exit(1)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)

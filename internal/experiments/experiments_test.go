@@ -137,13 +137,18 @@ func TestE14Small(t *testing.T) {
 
 func TestE13Small(t *testing.T) {
 	tb := E13ParallelSpeedup(48, []int{1, 4}, 4, 13)
-	if len(tb.Rows) != 2 {
-		t.Fatalf("rows = %d", len(tb.Rows))
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 workloads x 2 parallelisms", len(tb.Rows))
 	}
+	seen := map[string]bool{}
 	for _, r := range tb.Rows {
-		if r[5] != "true" {
+		seen[r[0]] = true
+		if r[6] != "true" {
 			t.Errorf("stats not identical across engines: %v", r)
 		}
+	}
+	if !seen["churn"] || !seen["powerlaw"] {
+		t.Errorf("missing workload rows: %v", seen)
 	}
 }
 

@@ -50,35 +50,46 @@ func TestDifferentialAllPairs(t *testing.T) {
 	}
 }
 
-// TestParallelismIdenticalReports replays the same scenario through the
-// cluster-backed algorithms at parallelism 1 and 8: the reports (updates,
-// checks, rounds) must be bit-identical — the execution engine's core
-// guarantee, now visible through the harness.
+// TestParallelismIdenticalReports replays every registered scenario through
+// every compatible algorithm at parallelism 1, 2, and 8: the reports
+// (updates, checks, rounds, final edges) must be bit-identical — the
+// execution engine's core guarantee (sequential loop, work-stealing pool,
+// and sharded parallel merge are interchangeable), made visible through the
+// harness on the full generator registry.
 func TestParallelismIdenticalReports(t *testing.T) {
-	pairs := []struct{ algo, scenario string }{
-		{"connectivity", "window"},
-		{"bipartite", "powerlaw"},
-		{"msf", "grow-weighted"},
-		{"approxmsf", "churn-weighted"},
-	}
-	for _, p := range pairs {
-		t.Run(p.algo+"/"+p.scenario, func(t *testing.T) {
-			t.Parallel()
-			opt := Options{N: 48, Batches: 6, Seed: 5}
-			opt.Parallelism = 1
-			seq, err := Run(p.algo, p.scenario, opt)
+	for _, scName := range workload.Names() {
+		sc, err := workload.Get(scName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algoName := range AlgorithmNames() {
+			algo, err := GetAlgorithm(algoName)
 			if err != nil {
 				t.Fatal(err)
 			}
-			opt.Parallelism = 8
-			par, err := Run(p.algo, p.scenario, opt)
-			if err != nil {
-				t.Fatal(err)
+			if Compatible(algo, sc) != nil {
+				continue
 			}
-			if !reflect.DeepEqual(seq, par) {
-				t.Errorf("reports differ across parallelism:\n  seq: %v\n  par: %v", seq, par)
-			}
-		})
+			t.Run(scName+"/"+algoName, func(t *testing.T) {
+				t.Parallel()
+				opt := Options{N: 48, Batches: 6, Seed: 5}
+				opt.Parallelism = 1
+				seq, err := Run(algoName, scName, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range []int{2, 8} {
+					opt.Parallelism = p
+					par, err := Run(algoName, scName, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(seq, par) {
+						t.Errorf("report at parallelism %d differs from sequential:\n  seq: %v\n  par: %v", p, seq, par)
+					}
+				}
+			})
+		}
 	}
 }
 

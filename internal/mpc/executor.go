@@ -4,24 +4,37 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Executor schedules the per-machine work of one synchronous round (or one
-// local-computation pass). The cluster hands it an index-addressed job; the
-// executor decides how to spread the indices over OS threads.
+// local-computation pass, or one merge-shard sweep). The cluster hands it an
+// index-addressed job; the executor decides how to spread the indices over
+// OS threads.
 //
 // The contract that makes any executor interchangeable with the sequential
 // one is the simulator's concurrency contract (see StepFunc): the callback
-// for machine i touches only machine i's state and the caller-provided
-// result slot for index i. Under that contract every executor produces the
-// same per-index results, and the cluster folds them into Stats in machine
+// for index i touches only index i's state and the caller-provided result
+// slot for index i. Under that contract every executor produces the same
+// per-index results, and the cluster folds them into Stats in machine
 // order, so rounds, message ordering, violations, and peaks are bit-identical
 // at any parallelism level.
 type Executor interface {
 	// Run invokes fn(i) once for every i in [0, n), possibly concurrently.
-	// It returns only after every invocation has completed. If any
-	// invocation panics, Run re-panics on the calling goroutine with the
-	// panic value of the lowest panicking index.
+	// It returns only after every invocation has completed or been
+	// abandoned.
+	//
+	// Panic contract: if any invocation panics, Run re-panics on the
+	// calling goroutine with the panic value of the lowest panicking
+	// index. This is deterministic under every executor: nothing below the
+	// lowest panicking index panics, so that index is always reached and
+	// its panic always recorded, regardless of scheduling. Indices after a
+	// panicking index in the same scheduling unit (the whole range for the
+	// sequential executor, one work-stealing chunk for the pool) are
+	// abandoned; all other indices still run. Callers that recover such a
+	// panic may retry the whole range — per-index results are only
+	// published by completed invocations, and the cluster never merges a
+	// round whose parallel phase panicked.
 	Run(n int, fn func(i int))
 	// Parallelism reports the number of worker goroutines (1 = sequential).
 	Parallelism() int
@@ -69,17 +82,29 @@ func (sequentialExecutor) Run(n int, fn func(i int)) {
 // Parallelism implements Executor.
 func (sequentialExecutor) Parallelism() int { return 1 }
 
-// poolTask is one contiguous shard of machine indices handed to a pool
-// worker.
+// chunksPerWorker is the oversubscription factor of the work-stealing
+// scheduler: the index range is carved into about chunksPerWorker×workers
+// contiguous chunks, so a worker stuck on a hot chunk (a machine with a
+// skewed share of the round's work) strands at most one chunk while the
+// others drain the rest of the range.
+const chunksPerWorker = 8
+
+// poolTask wakes one worker for one Run: every dispatched worker pulls
+// chunks from the shared run state until the cursor is exhausted.
 type poolTask struct {
-	lo, hi int
-	fn     func(i int)
-	done   *poolBarrier
+	run *poolRun
 }
 
-// poolBarrier is the per-Run rendezvous: workers report completion (and any
-// recovered panic) here; the submitting goroutine waits on it.
-type poolBarrier struct {
+// poolRun is the shared state of one Run call over the work-stealing pool:
+// the job, the claim cursor, and the completion barrier. It lives on the
+// pool and is reused by every Run (a cluster issues one round at a time),
+// keeping dispatch allocation-free.
+type poolRun struct {
+	fn     func(i int)
+	n      int
+	chunk  int
+	cursor atomic.Int64
+
 	wg sync.WaitGroup
 
 	mu       sync.Mutex
@@ -88,22 +113,26 @@ type poolBarrier struct {
 	panicVal any
 }
 
-// recordPanic keeps the panic of the lowest machine index so re-panicking is
-// deterministic regardless of worker interleaving.
-func (b *poolBarrier) recordPanic(idx int, val any) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !b.panicked || idx < b.panicIdx {
-		b.panicked = true
-		b.panicIdx = idx
-		b.panicVal = val
+// recordPanic keeps the panic of the lowest panicking index so re-panicking
+// is deterministic regardless of worker interleaving: every chunk is always
+// claimed and runs up to its first panicking index, so the globally lowest
+// panicking index always executes and is always recorded.
+func (r *poolRun) recordPanic(idx int, val any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.panicked || idx < r.panicIdx {
+		r.panicked = true
+		r.panicIdx = idx
+		r.panicVal = val
 	}
 }
 
 // WorkerPool is the parallel executor: a fixed set of long-lived worker
-// goroutines that each claim one contiguous shard of the machine range per
-// round. Contiguous shards keep a worker on one run of machines (and their
-// result slots), so routing buffers stay core-local until the round barrier.
+// goroutines that claim contiguous index chunks from a shared atomic cursor
+// (chunked work stealing). Chunks keep a worker on one cache-friendly run
+// of machines and result slots, while the shared cursor lets idle workers
+// absorb skewed per-machine load — a powerlaw-hot machine costs its one
+// chunk, not a statically assigned 1/workers slice of the round.
 //
 // The pool's goroutines live as long as the pool is reachable; a runtime
 // cleanup shuts them down when the owning cluster is garbage collected, so
@@ -111,10 +140,10 @@ func (b *poolBarrier) recordPanic(idx int, val any) {
 type WorkerPool struct {
 	workers int
 	tasks   chan poolTask
-	// done is the reused per-Run barrier: Run is never invoked concurrently
-	// on one pool (a cluster issues one round at a time), so recycling the
-	// barrier keeps the round dispatch allocation-free.
-	done poolBarrier
+	// run is the reused per-Run state: Run is never invoked concurrently
+	// on one pool (a cluster issues one round at a time), so recycling it
+	// keeps the round dispatch allocation-free.
+	run poolRun
 }
 
 // NewWorkerPool returns a worker-pool executor with the given number of
@@ -129,8 +158,8 @@ func NewWorkerPool(workers int) Executor {
 	}
 	p := &WorkerPool{
 		workers: workers,
-		// Buffered so Run never blocks handing out shards: at most
-		// `workers` tasks are in flight per round.
+		// Buffered so Run never blocks waking workers: at most `workers`
+		// tasks are in flight per round.
 		tasks: make(chan poolTask, workers),
 	}
 	for w := 0; w < workers; w++ {
@@ -143,55 +172,88 @@ func NewWorkerPool(workers int) Executor {
 	return p
 }
 
-// poolWorker drains shards until the pool is shut down.
+// poolWorker drains wake-ups until the pool is shut down; each wake-up
+// steals chunks from its run until the range is exhausted.
 func poolWorker(tasks chan poolTask) {
 	for t := range tasks {
-		runShard(t)
+		runChunks(t.run)
+		t.run.wg.Done()
 	}
 }
 
-// runShard executes one contiguous shard, converting a panic in fn into a
-// recorded panic on the barrier (a panicking shard abandons its remaining
-// indices, as the sequential loop would).
-func runShard(t poolTask) {
-	i := t.lo
-	defer func() {
-		if r := recover(); r != nil {
-			t.done.recordPanic(i, r)
+// runChunks claims chunks off the run's cursor until the range is drained.
+// Every chunk is claimed and executed even after a panic elsewhere: that is
+// what makes the re-panic value (the lowest panicking index) deterministic,
+// and it matches the old static sharding, where every shard ran regardless
+// of another shard's panic.
+func runChunks(r *poolRun) {
+	for {
+		lo := int(r.cursor.Add(int64(r.chunk))) - r.chunk
+		if lo >= r.n {
+			return
 		}
-		t.done.wg.Done()
-	}()
-	for ; i < t.hi; i++ {
-		t.fn(i)
+		hi := lo + r.chunk
+		if hi > r.n {
+			hi = r.n
+		}
+		runChunk(r, lo, hi)
 	}
 }
 
-// Run implements Executor: it splits [0, n) into at most `workers`
-// contiguous shards, dispatches them to the pool, and waits for the round
-// barrier.
+// runChunk executes one contiguous chunk, converting a panic in fn into a
+// recorded panic on the run (a panicking chunk abandons its remaining
+// indices, as the sequential loop abandons everything after a panic).
+func runChunk(r *poolRun, lo, hi int) {
+	i := lo
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.recordPanic(i, rec)
+		}
+	}()
+	for ; i < hi; i++ {
+		r.fn(i)
+	}
+}
+
+// Run implements Executor: it carves [0, n) into contiguous chunks of
+// deterministic size, wakes the workers to steal them off a shared cursor,
+// and waits for the round barrier.
 func (p *WorkerPool) Run(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	shards := p.workers
-	if shards > n {
-		shards = n
+	r := &p.run
+	r.fn = fn
+	r.n = n
+	r.chunk = chunkSize(n, p.workers)
+	r.cursor.Store(0)
+	r.panicked = false
+	wake := p.workers
+	if chunks := (n + r.chunk - 1) / r.chunk; wake > chunks {
+		wake = chunks
 	}
-	per := (n + shards - 1) / shards
-	done := &p.done
-	done.panicked = false
-	for lo := 0; lo < n; lo += per {
-		hi := lo + per
-		if hi > n {
-			hi = n
-		}
-		done.wg.Add(1)
-		p.tasks <- poolTask{lo: lo, hi: hi, fn: fn, done: done}
+	r.wg.Add(wake)
+	for w := 0; w < wake; w++ {
+		p.tasks <- poolTask{run: r}
 	}
-	done.wg.Wait()
-	if done.panicked {
-		panic(done.panicVal)
+	r.wg.Wait()
+	r.fn = nil
+	if r.panicked {
+		panic(r.panicVal)
 	}
+}
+
+// chunkSize returns the work-stealing chunk size for n indices over the
+// given worker count: about chunksPerWorker chunks per worker, never less
+// than one index. It is a pure function of (n, workers), so the chunk
+// boundaries — and therefore the panic-abandonment units — are the same on
+// every Run of the same shape.
+func chunkSize(n, workers int) int {
+	c := n / (workers * chunksPerWorker)
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Parallelism implements Executor.

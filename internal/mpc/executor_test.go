@@ -49,7 +49,7 @@ func TestWorkerPoolPanicPropagation(t *testing.T) {
 		if r == nil {
 			t.Fatal("Run did not re-panic")
 		}
-		// Indices 3 and 7 both panic in different shards; the re-panic must
+		// Indices 3 and 7 both panic in different chunks; the re-panic must
 		// deterministically carry the lowest index's value.
 		if r != "boom-3" {
 			t.Fatalf("recovered %v, want boom-3", r)
@@ -60,6 +60,129 @@ func TestWorkerPoolPanicPropagation(t *testing.T) {
 			panic(fmt.Sprintf("boom-%d", i))
 		}
 	})
+}
+
+// TestExecutorPanicContract pins the panic contract both executors share:
+// the re-panic value is the panic of the lowest panicking index (nothing
+// below it panics, so it always runs), every index below the lowest
+// panicking one is invoked exactly once, and no index is ever invoked
+// twice — under the sequential loop and under chunked work stealing alike.
+func TestExecutorPanicContract(t *testing.T) {
+	const n, bomb = 100, 37
+	for _, tc := range []struct {
+		name string
+		ex   Executor
+	}{
+		{"sequential", NewSequentialExecutor()},
+		{"pool-4", NewWorkerPool(4)},
+		{"pool-7", NewWorkerPool(7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := make([]int, n)
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatal("Run did not re-panic")
+					}
+					if r != fmt.Sprintf("boom-%d", bomb) {
+						t.Fatalf("recovered %v, want boom-%d", r, bomb)
+					}
+				}()
+				tc.ex.Run(n, func(i int) {
+					counts[i]++
+					if i == bomb || i == bomb+40 {
+						panic(fmt.Sprintf("boom-%d", i))
+					}
+				})
+			}()
+			for i := 0; i < bomb; i++ {
+				if counts[i] != 1 {
+					t.Fatalf("index %d below the panicking index ran %d times, want 1", i, counts[i])
+				}
+			}
+			for i, c := range counts {
+				if c > 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+			}
+			if counts[bomb] != 1 {
+				t.Fatalf("panicking index ran %d times, want 1", counts[bomb])
+			}
+		})
+	}
+}
+
+// runPanicRecoveryProgram drives the cluster-level panic contract: a benign
+// messaging round, a round whose StepFunc panics at a fixed machine,
+// recovery, and a continuation round that overwrites every per-machine slot
+// the panicking round may have partially written. The observable cluster
+// state — the panic value, Stats (the panicked round merges nothing), the
+// redelivered inbox of the continuation round, and the final stores — must
+// be bit-identical under both executors.
+func runPanicRecoveryProgram(t *testing.T, parallelism int) (Stats, string) {
+	t.Helper()
+	const M, bomb = 33, 17
+	c := NewCluster(Config{Machines: M, LocalMemory: 64, Parallelism: parallelism})
+	// Round A: every machine sends two messages.
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		return []Message{
+			{To: (m.ID + 1) % M, Payload: Word(uint64(m.ID))},
+			{To: (m.ID + 5) % M, Payload: U64s{uint64(m.ID), uint64(m.ID)}},
+		}
+	})
+	statsBefore := c.Stats()
+	// Round B: panics at machine `bomb` before any state is written there;
+	// other machines may or may not have run (scheduling-dependent), so
+	// everything they write must be overwritten by round C.
+	var panicked any
+	func() {
+		defer func() { panicked = recover() }()
+		c.Step(func(m *Machine, inbox []Message) []Message {
+			if m.ID == bomb {
+				panic(fmt.Sprintf("boom-%d", m.ID))
+			}
+			m.Set("scratch", Word(uint64(m.ID)))
+			return []Message{{To: 0, Payload: Word(1)}}
+		})
+	}()
+	if panicked != fmt.Sprintf("boom-%d", bomb) {
+		t.Fatalf("recovered %v, want boom-%d", panicked, bomb)
+	}
+	if got := c.Stats(); !reflect.DeepEqual(got, statsBefore) {
+		t.Fatalf("panicked round mutated Stats:\nbefore: %+v\nafter:  %+v", statsBefore, got)
+	}
+	// Round C: round A's messages must be redelivered (round B never merged
+	// or consumed them), and every machine overwrites the scratch slot.
+	delivered := make([][]int, M)
+	c.Step(func(m *Machine, inbox []Message) []Message {
+		for _, msg := range inbox {
+			delivered[m.ID] = append(delivered[m.ID], msg.From)
+		}
+		m.Set("scratch", U64s{uint64(m.ID), uint64(len(inbox))})
+		return nil
+	})
+	digest := ""
+	for i := 0; i < M; i++ {
+		digest += fmt.Sprintf("m%d: state=%d delivered=%v\n", i, c.Machine(i).StateWords(), delivered[i])
+	}
+	return c.Stats(), digest
+}
+
+// TestStepPanicRecoveryDeterministic asserts the identical observable
+// cluster state after recovering a StepFunc panic at a fixed machine index,
+// across the sequential executor and work-stealing pools of several widths.
+func TestStepPanicRecoveryDeterministic(t *testing.T) {
+	baseStats, baseDigest := runPanicRecoveryProgram(t, 1)
+	for _, p := range []int{2, 4, 8} {
+		st, digest := runPanicRecoveryProgram(t, p)
+		if !reflect.DeepEqual(st, baseStats) {
+			t.Errorf("parallelism %d: stats diverged\nseq: %+v\npar: %+v", p, baseStats, st)
+		}
+		if digest != baseDigest {
+			t.Errorf("parallelism %d: digest diverged\nseq:\n%s\npar:\n%s", p, baseDigest, digest)
+		}
+	}
 }
 
 func TestStrictViolationPanicsUnderParallel(t *testing.T) {

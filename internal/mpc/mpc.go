@@ -1,34 +1,3 @@
-// Package mpc implements an in-process simulator of the Massively Parallel
-// Computation model with sublinear local memory, the substrate on which every
-// algorithm in this repository runs.
-//
-// A Cluster is a fixed collection of machines that communicate only in
-// synchronous rounds. In each round every machine may read its inbox, perform
-// arbitrary local computation on its local store, and emit messages; the
-// cluster routes the messages, enforces the per-machine communication cap
-// (total words sent or received by one machine in one round must not exceed
-// its local memory s), and meters rounds, messages, words moved, and peak
-// memory. Algorithms are written against Step and against the collective
-// operations built on top of it (Broadcast, Gather, Aggregate, Exchange), so
-// their round counts are structural properties of the execution, not
-// estimates.
-//
-// Memory is accounted in machine words: one vertex id, one tour index, or one
-// sketch cell each count as one word, matching the convention of the paper's
-// model (Section 1.2).
-//
-// Execution is pluggable: an Executor fans the per-machine work of each
-// round out over OS threads (Config.Parallelism selects the sequential loop
-// or a worker pool), while message routing and metering are folded back in
-// machine order at the round barrier, so every metric the simulator reports
-// is bit-identical at any parallelism level.
-//
-// The round machinery itself is allocation-free at steady state: the
-// cluster owns its routing buffers (per-machine outboxes, double-buffered
-// inboxes, word counters) and reuses them round over round, and MessageBatch
-// provides a length-prefixed binary codec so algorithms route one packed
-// buffer per (src, dst) machine pair instead of one small allocation per
-// logical message. See codec.go and the allocation-budget tests.
 package mpc
 
 import (
@@ -154,9 +123,10 @@ func (m *Machine) Delete(key string) { delete(m.Store, key) }
 // Cluster is a simulated MPC system.
 //
 // The per-round working buffers (outboxes, the spare inbox set, word
-// counters) and the executor dispatch closures are allocated once here and
-// reused every round, so a steady-state Step performs no allocation of its
-// own: whatever a round allocates comes from the algorithm's callback.
+// counters, the routing-prep slots, the merge-shard buckets) and the
+// executor dispatch closures are allocated once here and reused every
+// round, so a steady-state Step performs no allocation of its own: whatever
+// a round allocates comes from the algorithm's callback.
 type Cluster struct {
 	cfg      Config
 	exec     Executor
@@ -172,6 +142,27 @@ type Cluster struct {
 	stateWords []int
 	recvWords  []int
 
+	// Routing prep, written by the parallel phase of Step (each slot i is
+	// written only by the invocation for machine i, so the slots are
+	// race-free under any executor). The encode work that the merge used to
+	// do serially per message — destination validation, payload sizing, and
+	// destination-shard classification — happens here, overlapped with the
+	// round's compute.
+	sendWords []int   // valid payload words sent by machine i
+	msgCount  []int   // valid messages emitted by machine i
+	msgWords  [][]int // per-message payload words, parallel to outs[i] (0 for invalid)
+	invalid   [][]int // invalid destinations of machine i, in outbox order
+
+	// Destination-sharded merge: the destination range [0, M) is split into
+	// mergeShards contiguous ranges of mergePer machines each; routed[i][s]
+	// holds the indices (into outs[i]) of machine i's messages destined for
+	// shard s, bucketed during the parallel phase. routed is nil under the
+	// sequential executor, where the single merge shard scans outboxes
+	// directly.
+	mergeShards int
+	mergePer    int
+	routed      [][][]int32
+
 	// stepFn/localFn hold the current round's callback for the preallocated
 	// dispatch closures below (building a fresh closure per round would
 	// allocate).
@@ -180,6 +171,7 @@ type Cluster struct {
 	runStep  func(i int)
 	runLocal func(i int)
 	runMeter func(i int)
+	runMerge func(s int)
 
 	// agg is the reusable scratch of AggregateBatches and runAgg its
 	// once-built per-round callback (see aggregate.go).
@@ -204,13 +196,35 @@ func NewCluster(cfg Config) *Cluster {
 		spare:      make([][]Message, cfg.Machines),
 		stateWords: make([]int, cfg.Machines),
 		recvWords:  make([]int, cfg.Machines),
+		sendWords:  make([]int, cfg.Machines),
+		msgCount:   make([]int, cfg.Machines),
+		msgWords:   make([][]int, cfg.Machines),
+		invalid:    make([][]int, cfg.Machines),
 	}
 	for i := range c.machines {
 		c.machines[i] = &Machine{ID: i, Store: make(map[string]Sized)}
 	}
+	// The merge phase is destination-sharded under a parallel executor: a
+	// couple of shards per worker gives the work-stealing scheduler room to
+	// balance destination skew, while a single shard under the sequential
+	// executor degenerates to the serial scan (no bucketing overhead).
+	c.mergeShards = 1
+	if w := c.exec.Parallelism(); w > 1 {
+		c.mergeShards = 2 * w
+		if c.mergeShards > cfg.Machines {
+			c.mergeShards = cfg.Machines
+		}
+		c.routed = make([][][]int32, cfg.Machines)
+		for i := range c.routed {
+			c.routed[i] = make([][]int32, c.mergeShards)
+		}
+	}
+	c.mergePer = (cfg.Machines + c.mergeShards - 1) / c.mergeShards
 	c.runStep = func(i int) {
-		c.outs[i] = c.stepFn(c.machines[i], c.inboxes[i])
+		out := c.stepFn(c.machines[i], c.inboxes[i])
+		c.outs[i] = out
 		c.stateWords[i] = c.machines[i].StateWords()
+		c.prepRoute(i, out)
 	}
 	c.runLocal = func(i int) {
 		c.localFn(c.machines[i])
@@ -219,6 +233,7 @@ func NewCluster(cfg Config) *Cluster {
 	c.runMeter = func(i int) {
 		c.stateWords[i] = c.machines[i].StateWords()
 	}
+	c.runMerge = c.mergeShard
 	c.agg.acc = make([]*MessageBatch, cfg.Machines)
 	c.agg.outs = make([][]Message, cfg.Machines)
 	for i := range c.agg.outs {
@@ -291,58 +306,146 @@ func (c *Cluster) violate(format string, args ...any) {
 // the callbacks of every collective built on Step.
 type StepFunc func(m *Machine, inbox []Message) []Message
 
+// prepRoute is the encode half of the routing pipeline, run inside the
+// parallel phase by the invocation for machine i (overlapped with the other
+// machines' compute): it validates destinations, sizes every payload once,
+// and — under a parallel merge — buckets the outbox by destination shard.
+// All writes go to slot i of caller-owned slices, honoring the executor
+// contract.
+func (c *Cluster) prepRoute(i int, out []Message) {
+	M := c.cfg.Machines
+	words := c.msgWords[i][:0]
+	inv := c.invalid[i][:0]
+	var buckets [][]int32
+	if c.routed != nil {
+		buckets = c.routed[i]
+		for s := range buckets {
+			buckets[s] = buckets[s][:0]
+		}
+	}
+	sw, cnt := 0, 0
+	for k := range out {
+		to := out[k].To
+		if to < 0 || to >= M {
+			inv = append(inv, to)
+			words = append(words, 0)
+			continue
+		}
+		w := 0
+		if p := out[k].Payload; p != nil {
+			w = p.Words()
+		}
+		words = append(words, w)
+		sw += w
+		cnt++
+		if buckets != nil {
+			s := to / c.mergePer
+			buckets[s] = append(buckets[s], int32(k))
+		}
+	}
+	c.msgWords[i] = words
+	c.invalid[i] = inv
+	c.sendWords[i] = sw
+	c.msgCount[i] = cnt
+}
+
+// mergeShard routes every message destined for shard s's contiguous
+// destination range into the spare inbox set and accumulates the per-
+// destination receive totals. Shards own disjoint destination ranges, so
+// concurrent shard sweeps never write the same inbox or counter; within one
+// destination, messages land in ascending sender id and, per sender, in
+// outbox order — the same order the serial merge produces, which is what
+// keeps inbox contents bit-identical at every parallelism level.
+func (c *Cluster) mergeShard(s int) {
+	lo := s * c.mergePer
+	hi := lo + c.mergePer
+	if hi > c.cfg.Machines {
+		hi = c.cfg.Machines
+	}
+	next := c.spare
+	// Truncate this shard's buffers here rather than trusting the previous
+	// round's cleanup: if a Strict-mode violation panicked mid-round and
+	// the caller recovered, the spare set still holds that round's merge,
+	// which must not leak into this one.
+	for dst := lo; dst < hi; dst++ {
+		clear(next[dst])
+		next[dst] = next[dst][:0]
+		c.recvWords[dst] = 0
+	}
+	if c.routed == nil {
+		// Single-shard serial merge: scan the outboxes directly, skipping
+		// invalid destinations (prepRoute already recorded them).
+		for i, out := range c.outs {
+			words := c.msgWords[i]
+			for k := range out {
+				to := out[k].To
+				if to < lo || to >= hi {
+					continue
+				}
+				msg := out[k]
+				msg.From = i
+				next[to] = append(next[to], msg)
+				c.recvWords[to] += words[k]
+			}
+		}
+		return
+	}
+	for i, out := range c.outs {
+		words := c.msgWords[i]
+		for _, k := range c.routed[i][s] {
+			msg := out[k]
+			msg.From = i
+			next[msg.To] = append(next[msg.To], msg)
+			c.recvWords[msg.To] += words[k]
+		}
+	}
+}
+
 // Step executes one synchronous round on all machines.
 //
-// The round has two phases. The parallel phase fans fn out across machines
-// through the executor; each invocation writes its outgoing messages and its
-// post-round store size into per-machine slots (the slots form contiguous
-// per-worker buffers under the worker-pool executor). The merge phase then
-// folds the slots into cluster state in ascending sender id on the calling
-// goroutine: it routes messages, enforces the communication caps, and
-// samples memory. Because the merge order is machine order regardless of how
-// the parallel phase was scheduled, inbox ordering, Stats, and violation
-// reporting are bit-identical at every parallelism level.
+// The round is a three-phase pipeline. The compute/encode phase fans fn out
+// across machines through the executor; each invocation writes its outgoing
+// messages and post-round store size into per-machine slots and then
+// immediately prepares its own outbox for routing (prepRoute: destination
+// validation, payload sizing, destination-shard bucketing), so the encode
+// work overlaps the other machines' compute instead of serializing at the
+// barrier. The route phase sweeps the prepared outboxes into the inbox
+// double buffer by contiguous destination shard — also through the
+// executor, since shards own disjoint destinations. The meter phase then
+// folds the per-machine totals into Stats in ascending machine id on the
+// calling goroutine: cap enforcement, violation recording, and memory
+// sampling, batched per machine rather than per message.
+//
+// Because inbox order within every destination is ascending sender id (and
+// outbox order per sender) no matter how either parallel phase was
+// scheduled, and the meter fold always runs in machine order, inbox
+// ordering, Stats, and violation reporting are bit-identical at every
+// parallelism level. A Strict-mode cap violation panics during the meter
+// fold, after routing: the round's deliveries are complete but unswapped,
+// and the next Step's route phase truncates them, so a recovered panic
+// cannot leak a partial round into the next one.
 func (c *Cluster) Step(fn StepFunc) {
-	M := c.cfg.Machines
 	c.stepFn = fn
-	c.exec.Run(M, c.runStep)
+	c.exec.Run(c.cfg.Machines, c.runStep)
 	c.stepFn = nil
-	// Deterministic merge by sender id, into the spare inbox set (the
-	// buffers retired two rounds ago, capacity intact). Truncate the spare
-	// buffers here rather than trusting the previous round's cleanup: if a
-	// Strict-mode violation panicked mid-merge and the caller recovered,
-	// the spare set still holds that round's partial merge, which must not
-	// leak into this one.
-	next := c.spare
-	for i := range next {
-		clear(next[i])
-		next[i] = next[i][:0]
-	}
-	clear(c.recvWords)
-	for i, out := range c.outs {
-		sendWords := 0
-		for _, msg := range out {
-			if msg.To < 0 || msg.To >= M {
-				c.violate("machine %d sent to invalid machine %d", i, msg.To)
-				continue
-			}
-			msg.From = i
-			w := 0
-			if msg.Payload != nil {
-				w = msg.Payload.Words()
-			}
-			sendWords += w
-			c.recvWords[msg.To] += w
-			next[msg.To] = append(next[msg.To], msg)
-			c.stats.Messages++
-			c.stats.WordsSent += int64(w)
+	c.exec.Run(c.mergeShards, c.runMerge)
+	// Meter fold: batched cap enforcement in machine order. Sender-side
+	// first (invalid destinations in outbox order, then the send cap, per
+	// sender), then receiver-side — the exact order of the old per-message
+	// serial merge, so violation strings line up bit-identically.
+	for i := range c.outs {
+		for _, to := range c.invalid[i] {
+			c.violate("machine %d sent to invalid machine %d", i, to)
 		}
+		sw := c.sendWords[i]
+		c.stats.Messages += int64(c.msgCount[i])
+		c.stats.WordsSent += int64(sw)
 		c.outs[i] = nil
-		if sendWords > c.cfg.LocalMemory {
-			c.violate("machine %d sent %d words in one round (cap %d)", i, sendWords, c.cfg.LocalMemory)
+		if sw > c.cfg.LocalMemory {
+			c.violate("machine %d sent %d words in one round (cap %d)", i, sw, c.cfg.LocalMemory)
 		}
-		if sendWords > c.stats.MaxSendWords {
-			c.stats.MaxSendWords = sendWords
+		if sw > c.stats.MaxSendWords {
+			c.stats.MaxSendWords = sw
 		}
 	}
 	for i, w := range c.recvWords {
@@ -354,9 +457,9 @@ func (c *Cluster) Step(fn StepFunc) {
 		}
 	}
 	retired := c.inboxes
-	c.inboxes = next
+	c.inboxes = c.spare
 	// Drop payload references from the retired inboxes eagerly (they are
-	// truncated again, defensively, at the next merge) and keep their
+	// truncated again, defensively, at the next route phase) and keep their
 	// backing arrays as the next round's merge buffers.
 	for i := range retired {
 		clear(retired[i])

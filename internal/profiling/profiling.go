@@ -1,0 +1,61 @@
+// Package profiling wires the -cpuprofile and -memprofile flags of the
+// command binaries to runtime/pprof, so hot paths found by the benchmarks
+// can be inspected on real workloads (`go tool pprof <binary> <profile>`).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling as requested: a CPU profile streamed to cpuPath
+// and/or a heap profile written to memPath at stop time (either may be
+// empty to skip that profile). It returns a stop function that finishes
+// both profiles; stop is idempotent, and callers must invoke it on every
+// exit path that should produce profiles — os.Exit skips defers.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// One collection first, so the profile shows live steady-state
+			// heap rather than collectable garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -13,6 +13,15 @@
 // and a baseline of 0 rounds/query is a zero-round contract (the warm
 // label-cache regime): any regression from zero fails the gate.
 //
+// The speedup-vs-seq metric of the parallel-engine benchmarks is gated
+// differently: it is machine-dependent (it measures how well the worker
+// pool converts cores into wall clock), so instead of a baseline ratio it
+// gets absolute floors via -min-speedup (substring=floor rules), enforced
+// only when the bench output's GOMAXPROCS suffix is at least
+// -min-speedup-procs — a single-core host reports ~1x by construction and
+// must not fail the gate. A floor rule that matches no benchmark fails the
+// run, so renaming a gated benchmark cannot silently disable the gate.
+//
 // Usage:
 //
 //	go test -run '^$' -bench ... -benchmem ./... | tee bench.txt
@@ -38,12 +47,24 @@ import (
 
 // Result is one benchmark's recorded profile. RoundsPerQuery is the custom
 // MPC-rounds metric the query benchmarks report; it is machine-independent
-// (a structural property of the execution, like allocs/op).
+// (a structural property of the execution, like allocs/op). SpeedupVsSeq is
+// the derived parallel-engine metric of the pool variants of
+// BenchmarkStepParallel (sequential ns/round over pool ns/round, higher is
+// better); it is machine-dependent, so it is gated by the -min-speedup
+// absolute floor rather than a baseline ratio, and only on hosts with at
+// least -min-speedup-procs processors (the GOMAXPROCS suffix of the bench
+// line) — a single-core box cannot exhibit parallel speedup.
 type Result struct {
 	NsPerOp        float64 `json:"ns_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	RoundsPerQuery float64 `json:"rounds_per_query,omitempty"`
+	SpeedupVsSeq   float64 `json:"speedup_vs_seq,omitempty"`
+
+	// Procs is the GOMAXPROCS the measurement ran under (the -N suffix of
+	// the benchmark line). It qualifies the speedup floor and is not part
+	// of the stored baseline.
+	Procs int `json:"-"`
 }
 
 // Baseline is the on-disk schema of BENCH_sketch.json.
@@ -54,7 +75,8 @@ type Baseline struct {
 
 // benchLine matches `go test -bench` output lines, e.g.
 // BenchmarkSketchUpdate-8   123456   987.6 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+// The -8 suffix is the GOMAXPROCS of the run, captured for the speedup gate.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+(.*)$`)
 
 // pkgLine matches the `pkg: repro/internal/sketch` header go test prints
 // before a package's benchmark lines.
@@ -89,7 +111,15 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 			return nil, fmt.Errorf("duplicate benchmark %q in input (one measurement per benchmark: run with -count=1 and do not concatenate runs of the same package)", key)
 		}
 		var res Result
-		fields := strings.Fields(m[2])
+		// go test only appends the -N suffix when GOMAXPROCS != 1, so a
+		// bare benchmark name means a single-processor run.
+		res.Procs = 1
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil {
+				res.Procs = p
+			}
+		}
+		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -104,11 +134,61 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.AllocsPerOp = v
 			case "rounds/query":
 				res.RoundsPerQuery = v
+			case "speedup-vs-seq":
+				res.SpeedupVsSeq = v
 			}
 		}
 		out[key] = res
 	}
 	return out, sc.Err()
+}
+
+// speedupFloor is one parsed -min-speedup rule: benchmarks whose qualified
+// name contains Substr must report speedup-vs-seq of at least Min.
+type speedupFloor struct {
+	Substr string
+	Min    float64
+}
+
+// parseSpeedupFloors parses the -min-speedup value: a comma-separated list
+// of substring=floor rules, e.g. "/pool/=1.8,/pool-skew/=1.05".
+func parseSpeedupFloors(spec string) ([]speedupFloor, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var floors []speedupFloor
+	for _, rule := range strings.Split(spec, ",") {
+		sub, val, ok := strings.Cut(rule, "=")
+		if !ok || sub == "" {
+			return nil, fmt.Errorf("bad -min-speedup rule %q (want substring=floor)", rule)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad -min-speedup floor in %q", rule)
+		}
+		floors = append(floors, speedupFloor{Substr: sub, Min: f})
+	}
+	return floors, nil
+}
+
+// checkSpeedup enforces the absolute speedup floors on one result. The
+// floors only apply on hosts with at least minProcs processors: parallel
+// speedup is a property of the hardware as much as the code, and a starved
+// host reporting ~1x is expected, not a regression.
+func checkSpeedup(name string, got Result, floors []speedupFloor, minProcs int) error {
+	if got.SpeedupVsSeq == 0 || got.Procs < minProcs {
+		return nil
+	}
+	for _, fl := range floors {
+		if !strings.Contains(name, fl.Substr) {
+			continue
+		}
+		if got.SpeedupVsSeq < fl.Min {
+			return fmt.Errorf("%s: speedup-vs-seq %.2f below floor %.2f (pool regressed toward sequential parity)",
+				name, got.SpeedupVsSeq, fl.Min)
+		}
+	}
+	return nil
 }
 
 // check compares one metric against its baseline under a max ratio; a zero
@@ -136,8 +216,17 @@ func main() {
 	nsRatio := flag.Float64("ns-ratio", 1.15, "max allowed ns/op ratio vs baseline (0 disables; CI uses a looser value on shared runners)")
 	memRatio := flag.Float64("mem-ratio", 1.15, "max allowed B/op and allocs/op ratio vs baseline")
 	roundsRatio := flag.Float64("rounds-ratio", 1.15, "max allowed rounds/query ratio vs baseline (0 disables; a 0 baseline is a zero-round contract)")
+	minSpeedup := flag.String("min-speedup", "",
+		"comma-separated substring=floor rules for the speedup-vs-seq metric, e.g. '/pool/=1.8,/pool-skew/=1.05' (empty disables)")
+	minSpeedupProcs := flag.Int("min-speedup-procs", 4,
+		"enforce -min-speedup only when the bench ran with at least this GOMAXPROCS (single-core hosts cannot exhibit speedup)")
 	note := flag.String("note", "", "note to store when updating the baseline")
 	flag.Parse()
+
+	floors, err := parseSpeedupFloors(*minSpeedup)
+	if err != nil {
+		fatal(err)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -200,10 +289,26 @@ func main() {
 			check(name, "B/op", b.BytesPerOp, g.BytesPerOp, *memRatio),
 			check(name, "allocs/op", b.AllocsPerOp, g.AllocsPerOp, *memRatio),
 			check(name, "rounds/query", b.RoundsPerQuery, g.RoundsPerQuery, *roundsRatio),
+			checkSpeedup(name, g, floors, *minSpeedupProcs),
 		} {
 			if err != nil {
 				failures = append(failures, err.Error())
 			}
+		}
+	}
+	// A floor rule that matches nothing is a dead gate (a renamed benchmark
+	// would silently stop being enforced) — fail loudly instead.
+	for _, fl := range floors {
+		matched := false
+		for name, g := range got {
+			if g.SpeedupVsSeq != 0 && strings.Contains(name, fl.Substr) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf(
+				"-min-speedup rule %s=%g matched no benchmark reporting speedup-vs-seq", fl.Substr, fl.Min))
 		}
 	}
 	if compared == 0 {
