@@ -48,7 +48,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -94,7 +93,7 @@ func main() {
 	// Validate flags before constructing generators or clusters, so a bad
 	// combination is a usage error on stderr, not a raw panic from deep
 	// inside a constructor (e.g. workload.NewQueryMix on n < 2).
-	if err := validateFlags(*n, *batches, *queries, *crashEvery, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
+	if err := validateFlags(*n, *batches, *queries, *crashEvery, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
@@ -129,9 +128,14 @@ func main() {
 }
 
 // validateFlags rejects invalid or incoherent flag combinations up front.
-func validateFlags(n, batches, queries, crashEvery int, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
+func validateFlags(n, batches, queries, crashEvery int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
+	}
+	// The generator config check covers -maxweight and -insertbias: a bad
+	// value is a usage error here, not a panic inside workload.NewChurn.
+	if err := (workload.Config{N: n, MaxWeight: maxWeight, InsertBias: insertBias}).Validate(); err != nil {
+		return err
 	}
 	if batches < 0 {
 		return fmt.Errorf("-batches must be non-negative (got %d)", batches)
@@ -328,33 +332,15 @@ func (s *streamState) Checkpoint(e *snapshot.Encoder) {
 	e.F64(s.phi)
 	e.U64(s.seed)
 	e.Begin(tagCLIMirror)
-	edges := s.mirror.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
-	e.Int(len(edges))
-	for _, we := range edges {
-		e.Int(we.U)
-		e.Int(we.V)
-		e.I64(we.Weight)
-	}
+	snapshot.EncodeGraph(e, s.mirror)
 	s.dc.Checkpoint(e)
 }
 
-// writeCheckpoint saves the state snapshot to path.
+// writeCheckpoint saves the state snapshot to path atomically (temp file,
+// fsync, rename), so an interrupted write never clobbers a previous good
+// checkpoint with a truncated one.
 func writeCheckpoint(path string, st *streamState) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := snapshot.Save(f, st); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := snapshot.WriteFileAtomic(path, st); err != nil {
 		return err
 	}
 	fmt.Printf("checkpoint written to %s\n", path)
@@ -391,15 +377,7 @@ func resumeState(path string, parallelism int) (*streamState, error) {
 	}
 	d.Begin(tagCLIMirror)
 	st.mirror = graph.New(st.n)
-	cnt := d.Int()
-	for i := 0; i < cnt && d.Err() == nil; i++ {
-		u, v := d.Int(), d.Int()
-		w := d.I64()
-		if err := st.mirror.Insert(u, v, w); err != nil {
-			return nil, fmt.Errorf("snapshot mirror edge {%d,%d}: %w", u, v, err)
-		}
-	}
-	if err := d.Err(); err != nil {
+	if err := snapshot.DecodeGraphInto(d, st.mirror); err != nil {
 		return nil, err
 	}
 	st.dc, err = core.NewDynamicConnectivity(core.Config{N: st.n, Phi: st.phi, Seed: st.seed, Parallelism: parallelism})

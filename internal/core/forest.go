@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/eulertour"
 	"repro/internal/graph"
@@ -80,7 +82,16 @@ func (p *u64Payload) Words() int { return len(p.xs) }
 // everything else coordinator-locally with zero MPC rounds — the repeated-
 // query regime between updates. Like nextID, the cache is coordinator-local
 // driver state, not machine-store state.
+//
+// mu implements the single-writer/many-reader contract of the query API
+// (see query.go): warm lookups hold the read lock, so any number of reader
+// goroutines answer cached queries concurrently; a cache miss (which runs
+// an MPC collective and fills labels/stamp) and every invalidation take the
+// write lock. Mutating operations (ApplyBatch, Link, Cut, Restore) remain
+// exclusive with all queries — the lock protects the cache, not the
+// cluster.
 type labelCache struct {
+	mu     sync.RWMutex
 	labels []int
 	stamp  []uint32
 	epoch  uint32
@@ -92,6 +103,13 @@ type labelCache struct {
 	// numComps caches NumComponents per epoch (valid iff numCompsOK).
 	numComps   int
 	numCompsOK bool
+	// hits counts query batches answered entirely from the cache (zero
+	// rounds); misses counts batches that ran the cache-fill collective.
+	// Atomic so concurrent warm readers can count without taking mu for
+	// writing; consumed by Forest.QueryCacheStats (the serving layer's
+	// cache-hit-rate metric).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // cacheMeter folds the coordinator's query caches into the MPC memory
@@ -269,21 +287,35 @@ var (
 
 // invalidateCache bumps the label-cache epoch, dropping every cached
 // component label and the cached component count in O(1). Called by every
-// label-mutating collective (applyRelabels, broadcastFragComps).
+// label-mutating collective (applyRelabels, broadcastFragComps). It takes
+// the cache write lock, so an invalidation is safe to race with concurrent
+// warm readers (they see either the old epoch's answers or a miss).
 func (f *Forest) invalidateCache() {
-	f.cache.epoch++
-	if f.cache.epoch == 0 { // wrapped: stale stamps could alias the new epoch
-		clear(f.cache.stamp)
-		f.cache.epoch = 1
+	lc := &f.cache
+	lc.mu.Lock()
+	lc.epoch++
+	if lc.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		clear(lc.stamp)
+		lc.epoch = 1
 	}
-	f.cache.valid = 0
-	f.cache.numCompsOK = false
+	lc.valid = 0
+	lc.numCompsOK = false
+	lc.mu.Unlock()
 }
 
 // InvalidateCache publicly drops the coordinator label cache so the next
 // query runs its collective. Updates invalidate automatically; this exists
 // for measurement (E15 and the query benchmarks ablate the cache with it).
+// Like the query entry points it may race concurrent readers, but not
+// mutating operations.
 func (f *Forest) InvalidateCache() { f.invalidateCache() }
+
+// QueryCacheStats reports how many query batches were answered entirely
+// from the label cache (zero MPC rounds) and how many ran the cache-fill
+// collective since construction. Safe to call concurrently with queries.
+func (f *Forest) QueryCacheStats() (hits, misses uint64) {
+	return f.cache.hits.Load(), f.cache.misses.Load()
+}
 
 // checkQueryVertex rejects out-of-range query vertices up front with a
 // diagnostic instead of letting the label cache index out of bounds (e.g.
@@ -294,12 +326,13 @@ func (f *Forest) checkQueryVertex(v int) {
 	}
 }
 
-// resolveLabels ensures the label cache covers every listed vertex. Cache
-// misses are deduplicated via the epoch stamps, sorted, broadcast once, and
-// answered by one flat [vertex, comp] aggregation (O(1/φ) rounds); a fully
-// cached query performs no MPC operation at all. The steady-state warm path
-// allocates nothing.
-func (f *Forest) resolveLabels(vertices []int) {
+// resolveLabelsLocked ensures the label cache covers every listed vertex.
+// Cache misses are deduplicated via the epoch stamps, sorted, broadcast
+// once, and answered by one flat [vertex, comp] aggregation (O(1/φ)
+// rounds); a fully cached query performs no MPC operation at all. The
+// steady-state warm path allocates nothing. The caller must hold the cache
+// write lock (the collective both fills the cache and drives the cluster).
+func (f *Forest) resolveLabelsLocked(vertices []int) {
 	lc := &f.cache
 	miss := lc.miss[:0]
 	for _, v := range vertices {
@@ -311,13 +344,14 @@ func (f *Forest) resolveLabels(vertices []int) {
 		}
 	}
 	lc.miss = miss
-	f.resolveMisses()
+	f.resolveMissesLocked()
 }
 
-// resolveMisses runs the cache-fill collective for the miss list staged in
-// the cache (one broadcast of the sorted misses, one [vertex, comp]
-// aggregation, decode into the cache). No-op when the list is empty.
-func (f *Forest) resolveMisses() {
+// resolveMissesLocked runs the cache-fill collective for the miss list
+// staged in the cache (one broadcast of the sorted misses, one
+// [vertex, comp] aggregation, decode into the cache). No-op when the list
+// is empty. The caller must hold the cache write lock.
+func (f *Forest) resolveMissesLocked() {
 	lc := &f.cache
 	if len(lc.miss) == 0 {
 		return
@@ -341,11 +375,14 @@ func (f *Forest) resolveMisses() {
 // broadcast and one flat-frame aggregation for the cache misses (O(1/φ)
 // rounds), coordinator-local for everything already cached.
 func (f *Forest) Components(vertices []int) map[int]int {
-	f.resolveLabels(vertices)
+	lc := &f.cache
+	lc.mu.Lock()
+	f.resolveLabelsLocked(vertices)
 	out := make(map[int]int, len(vertices))
 	for _, v := range vertices {
-		out[v] = f.cache.labels[v]
+		out[v] = lc.labels[v]
 	}
+	lc.mu.Unlock()
 	return out
 }
 
@@ -410,8 +447,18 @@ func collectNumComps(mm *mpc.Machine) *mpc.MessageBatch {
 // repeated readouts between updates (the bipartiteness test, the approx-MSF
 // weight formula) cost zero rounds.
 func (f *Forest) NumComponents() int {
-	if f.cache.numCompsOK {
-		return f.cache.numComps
+	lc := &f.cache
+	lc.mu.RLock()
+	if lc.numCompsOK {
+		n := lc.numComps
+		lc.mu.RUnlock()
+		return n
+	}
+	lc.mu.RUnlock()
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.numCompsOK { // raced with another reader's readout
+		return lc.numComps
 	}
 	n := 0
 	if res := f.cl.AggregateBatches(f.coord, collectNumComps, mergeSum); res != nil {
@@ -420,8 +467,8 @@ func (f *Forest) NumComponents() int {
 		}
 		res.Release()
 	}
-	f.cache.numComps = n
-	f.cache.numCompsOK = true
+	lc.numComps = n
+	lc.numCompsOK = true
 	return n
 }
 
@@ -1332,10 +1379,13 @@ func (f *Forest) ConnectedMany(pairs [][2]int) []bool {
 	for _, p := range pairs {
 		vertices = append(vertices, p[0], p[1])
 	}
-	f.resolveLabels(vertices)
+	lc := &f.cache
+	lc.mu.Lock()
+	f.resolveLabelsLocked(vertices)
 	out := make([]bool, len(pairs))
 	for i, p := range pairs {
-		out[i] = f.cache.labels[p[0]] == f.cache.labels[p[1]]
+		out[i] = lc.labels[p[0]] == lc.labels[p[1]]
 	}
+	lc.mu.Unlock()
 	return out
 }

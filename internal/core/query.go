@@ -8,6 +8,22 @@ package core
 // caller-provided buffers, so a warm steady-state query performs zero
 // allocations (see the AllocsPerRun gates in query_test.go).
 //
+// # Concurrency contract (single writer, many readers)
+//
+// The query entry points — Connected, ConnectedAll(Into), ComponentsOf(Into),
+// NumComponents — may be called from any number of goroutines concurrently
+// with each other and with InvalidateQueryCache. A fully cached (warm) query
+// holds only the cache read lock and touches no cluster state, so warm
+// readers proceed in parallel; a cache miss takes the cache write lock and
+// runs its collective exclusively, which serializes concurrent misses onto
+// the single-threaded MPC cluster. What the lock does NOT cover is the
+// mutating surface: ApplyBatch, Link, Cut, Checkpoint and Restore drive the
+// same cluster through many collectives and must never overlap any query.
+// Callers that interleave updates with concurrent queries (internal/server)
+// enforce this with a per-instance RWMutex: updates under the write lock,
+// query batches under the read lock. query_race_test.go pins the contract
+// under the race detector.
+//
 // Every query entry point validates its vertices up front: a vertex
 // outside [0, N) — e.g. a stale QueryMix trace replayed against a smaller
 // instance — fails with a diagnostic "core: query vertex out of range"
@@ -24,13 +40,39 @@ func (f *Forest) ComponentsOf(vertices []int) []int {
 }
 
 // ComponentsOfInto is ComponentsOf appending into dst[:0] (allocation-free
-// when dst has capacity).
+// when dst has capacity). Safe for concurrent readers; see the package
+// concurrency contract above.
 func (f *Forest) ComponentsOfInto(dst []int, vertices []int) []int {
-	f.resolveLabels(vertices)
+	for _, v := range vertices {
+		f.checkQueryVertex(v)
+	}
+	lc := &f.cache
+	lc.mu.RLock()
+	warm := true
+	for _, v := range vertices {
+		if lc.stamp[v] != lc.epoch {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		dst = dst[:0]
+		for _, v := range vertices {
+			dst = append(dst, lc.labels[v])
+		}
+		lc.mu.RUnlock()
+		lc.hits.Add(1)
+		return dst
+	}
+	lc.mu.RUnlock()
+	lc.mu.Lock()
+	f.resolveLabelsLocked(vertices)
 	dst = dst[:0]
 	for _, v := range vertices {
-		dst = append(dst, f.cache.labels[v])
+		dst = append(dst, lc.labels[v])
 	}
+	lc.mu.Unlock()
+	lc.misses.Add(1)
 	return dst
 }
 
@@ -42,51 +84,58 @@ func (f *Forest) ConnectedAll(pairs []Pair) []bool {
 }
 
 // ConnectedAllInto is ConnectedAll appending into dst[:0] (allocation-free
-// when dst has capacity).
+// when dst has capacity). Safe for concurrent readers; see the package
+// concurrency contract above.
 func (f *Forest) ConnectedAllInto(dst []bool, pairs []Pair) []bool {
-	f.resolvePairs(pairs)
+	for _, p := range pairs {
+		f.checkQueryVertex(p.U)
+		f.checkQueryVertex(p.V)
+	}
+	lc := &f.cache
+	lc.mu.RLock()
+	warm := true
+	for _, p := range pairs {
+		if lc.stamp[p.U] != lc.epoch || lc.stamp[p.V] != lc.epoch {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		dst = dst[:0]
+		for _, p := range pairs {
+			dst = append(dst, lc.labels[p.U] == lc.labels[p.V])
+		}
+		lc.mu.RUnlock()
+		lc.hits.Add(1)
+		return dst
+	}
+	lc.mu.RUnlock()
+	lc.mu.Lock()
+	f.resolvePairsLocked(pairs)
 	dst = dst[:0]
 	for _, p := range pairs {
-		dst = append(dst, f.cache.labels[p.U] == f.cache.labels[p.V])
+		dst = append(dst, lc.labels[p.U] == lc.labels[p.V])
 	}
+	lc.mu.Unlock()
+	lc.misses.Add(1)
 	return dst
 }
 
 // Connected answers one connectivity query (a batch of one: O(1/φ) rounds
 // on a cache miss, zero rounds when both endpoints are cached).
 func (f *Forest) Connected(u, v int) bool {
-	f.resolvePairs2(u, v)
-	return f.cache.labels[u] == f.cache.labels[v]
-}
-
-// resolvePairs is resolveLabels over pair endpoints without materializing
-// an endpoint slice: it stamps misses directly into the cache's miss list.
-func (f *Forest) resolvePairs(pairs []Pair) {
-	lc := &f.cache
-	miss := lc.miss[:0]
-	for _, p := range pairs {
-		f.checkQueryVertex(p.U)
-		f.checkQueryVertex(p.V)
-		if lc.stamp[p.U] != lc.epoch {
-			lc.stamp[p.U] = lc.epoch
-			lc.valid++
-			miss = append(miss, p.U)
-		}
-		if lc.stamp[p.V] != lc.epoch {
-			lc.stamp[p.V] = lc.epoch
-			lc.valid++
-			miss = append(miss, p.V)
-		}
-	}
-	lc.miss = miss
-	f.resolveMisses()
-}
-
-// resolvePairs2 is resolvePairs for a single pair.
-func (f *Forest) resolvePairs2(u, v int) {
 	f.checkQueryVertex(u)
 	f.checkQueryVertex(v)
 	lc := &f.cache
+	lc.mu.RLock()
+	if lc.stamp[u] == lc.epoch && lc.stamp[v] == lc.epoch {
+		same := lc.labels[u] == lc.labels[v]
+		lc.mu.RUnlock()
+		lc.hits.Add(1)
+		return same
+	}
+	lc.mu.RUnlock()
+	lc.mu.Lock()
 	miss := lc.miss[:0]
 	if lc.stamp[u] != lc.epoch {
 		lc.stamp[u] = lc.epoch
@@ -99,7 +148,33 @@ func (f *Forest) resolvePairs2(u, v int) {
 		miss = append(miss, v)
 	}
 	lc.miss = miss
-	f.resolveMisses()
+	f.resolveMissesLocked()
+	same := lc.labels[u] == lc.labels[v]
+	lc.mu.Unlock()
+	lc.misses.Add(1)
+	return same
+}
+
+// resolvePairsLocked is resolveLabelsLocked over pair endpoints without
+// materializing an endpoint slice: it stamps misses directly into the
+// cache's miss list. The caller must hold the cache write lock.
+func (f *Forest) resolvePairsLocked(pairs []Pair) {
+	lc := &f.cache
+	miss := lc.miss[:0]
+	for _, p := range pairs {
+		if lc.stamp[p.U] != lc.epoch {
+			lc.stamp[p.U] = lc.epoch
+			lc.valid++
+			miss = append(miss, p.U)
+		}
+		if lc.stamp[p.V] != lc.epoch {
+			lc.stamp[p.V] = lc.epoch
+			lc.valid++
+			miss = append(miss, p.V)
+		}
+	}
+	lc.miss = miss
+	f.resolveMissesLocked()
 }
 
 // --- DynamicConnectivity surface -----------------------------------------
@@ -112,7 +187,8 @@ func (dc *DynamicConnectivity) ConnectedAll(pairs []Pair) []bool {
 }
 
 // ConnectedAllInto is ConnectedAll appending into dst[:0]; the steady-state
-// warm path performs zero allocations.
+// warm path performs zero allocations. Safe for concurrent readers (see the
+// concurrency contract at the top of this file).
 func (dc *DynamicConnectivity) ConnectedAllInto(dst []bool, pairs []Pair) []bool {
 	return dc.f.ConnectedAllInto(dst, pairs)
 }
@@ -125,7 +201,8 @@ func (dc *DynamicConnectivity) ComponentsOf(vertices []int) []int {
 }
 
 // ComponentsOfInto is ComponentsOf appending into dst[:0]; the steady-state
-// warm path performs zero allocations.
+// warm path performs zero allocations. Safe for concurrent readers (see the
+// concurrency contract at the top of this file).
 func (dc *DynamicConnectivity) ComponentsOfInto(dst []int, vertices []int) []int {
 	return dc.f.ComponentsOfInto(dst, vertices)
 }
@@ -133,4 +210,13 @@ func (dc *DynamicConnectivity) ComponentsOfInto(dst []int, vertices []int) []int
 // InvalidateQueryCache drops the coordinator label cache, forcing the next
 // query batch to run its collective. Updates invalidate automatically; this
 // exists for measurement (E15 and the query benchmarks ablate the cache).
+// Safe to race with concurrent readers (but not with updates).
 func (dc *DynamicConnectivity) InvalidateQueryCache() { dc.f.InvalidateCache() }
+
+// QueryCacheStats reports how many query batches were answered entirely
+// from the label cache (zero rounds) and how many ran a cache-fill
+// collective. Safe to call concurrently with queries; the serving layer
+// exports the pair as its cache-hit-rate metric.
+func (dc *DynamicConnectivity) QueryCacheStats() (hits, misses uint64) {
+	return dc.f.QueryCacheStats()
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// TestConcurrentQueryReaders pins the single-writer/many-reader contract of
+// the query API (see the comment at the top of query.go) under the race
+// detector, using exactly the discipline internal/server relies on: one
+// writer goroutine applies update batches under a per-instance write lock
+// while many reader goroutines answer query batches — warm and cold, plus
+// explicit InvalidateQueryCache calls racing them — under the read lock.
+// Every answer is checked against the oracle labels of the graph state the
+// reader's lock snapshot guarantees, so a torn cache fill shows up as a
+// wrong answer even when the race detector stays quiet.
+func TestConcurrentQueryReaders(t *testing.T) {
+	const (
+		n       = 64
+		readers = 16
+		batches = 40
+	)
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, Seed: 7, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := workload.Get("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.NewQueryMix(sc.New(n, 8), n, 9)
+
+	// mu is the instance lock of the contract: ApplyBatch exclusively,
+	// queries shared. labels is the oracle answer key for the current graph,
+	// refreshed by the writer while it holds the lock exclusively.
+	var mu sync.RWMutex
+	labels := oracle.Components(mix.Mirror())
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Per-reader reusable buffers: the warm path must stay safe even
+			// when every reader brings its own Into destination.
+			ans := make([]bool, 0, 32)
+			comps := make([]int, 0, n)
+			vertices := make([]int, n)
+			for v := range vertices {
+				vertices[v] = v
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.RLock()
+				pairs := toPairs(mix.NextQueriesFrom(uint64(r*1000+i), 16))
+				if r%4 == 0 && i%5 == 0 {
+					// Invalidations are documented safe to race with readers.
+					dc.InvalidateQueryCache()
+				}
+				ans = dc.ConnectedAllInto(ans, pairs)
+				for j, p := range pairs {
+					if want := labels[p.U] == labels[p.V]; ans[j] != want {
+						mu.RUnlock()
+						t.Errorf("reader %d: pair %v answered %v, oracle %v", r, p, ans[j], want)
+						return
+					}
+				}
+				// Core labels equal the oracle's min-id labels exactly (see
+				// TestBatchedQueriesMatchLoopAndOracle), so compare verbatim.
+				comps = dc.ComponentsOfInto(comps, vertices)
+				for v := range comps {
+					if comps[v] != labels[v] {
+						mu.RUnlock()
+						t.Errorf("reader %d: vertex %d labelled %d, oracle %d", r, v, comps[v], labels[v])
+						return
+					}
+				}
+				_ = dc.Connected(pairs[0].U, pairs[0].V)
+				_ = dc.NumComponents()
+				mu.RUnlock()
+			}
+		}(r)
+	}
+
+	// The single writer: applies batches under the exclusive lock, which is
+	// what makes applyRelabels (and the epoch bump inside it) safe against
+	// the readers above.
+	for phase := 0; phase < batches; phase++ {
+		mu.Lock()
+		if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+			mu.Unlock()
+			t.Fatal(err)
+		}
+		labels = oracle.Components(mix.Mirror())
+		mu.Unlock()
+	}
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	hits, misses := dc.QueryCacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d; the test should exercise both paths", hits, misses)
+	}
+}

@@ -195,7 +195,7 @@ func (f *Forest) restoreShard(d *snapshot.Decoder, i int) error {
 			return fmt.Errorf("core: snapshot shard %d has %d component entries, want %d", i, len(comp), hi-lo)
 		}
 		copy(vs.comp, comp)
-		nf := d.Int()
+		nf := d.Count(2)
 		vs.frag = make(map[int]uint64, nf)
 		for j := 0; j < nf && d.Err() == nil; j++ {
 			v := d.Int()
@@ -207,7 +207,7 @@ func (f *Forest) restoreShard(d *snapshot.Decoder, i int) error {
 		}
 	}
 	es := eShard(mm)
-	nr := d.Int()
+	nr := d.Count(8)
 	es.recs = make(map[graph.Edge]*treeEdge, nr)
 	for j := 0; j < nr && d.Err() == nil; j++ {
 		u, v := d.Int(), d.Int()

@@ -126,7 +126,7 @@ func (m *Matcher) restoreShard(d *snapshot.Decoder, i int) error {
 	copy(sh.match, match)
 	sh.words = 0
 	for v := range sh.adj {
-		cnt := d.Int()
+		cnt := d.Count(2)
 		adj := make(map[int]int, cnt)
 		for j := 0; j < cnt && d.Err() == nil; j++ {
 			o := d.Int()

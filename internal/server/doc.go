@@ -1,0 +1,75 @@
+// Package server turns the batched-MPC connectivity simulator into a
+// long-running HTTP service: one process owns many independent graph
+// instances and serves concurrent mutation and query traffic against all of
+// them, with bounded queues in front of the update path, zero-round warm
+// reads out of the coordinator label cache, Prometheus metrics, and
+// checkpoint-on-shutdown / restore-on-startup via internal/snapshot.
+//
+// # Instances and concurrency
+//
+// Each instance is an independent core.DynamicConnectivity over its own MPC
+// cluster, identified by an integer id in [0, Instances). The instance
+// enforces the core query engine's single-writer/many-reader contract (see
+// internal/core/query.go) with a per-instance RWMutex: exactly one applier
+// goroutine drains the instance's update queue and applies batches under
+// the write lock, while any number of request handlers answer query batches
+// under the read lock. Warm queries touch only the label cache and run
+// fully in parallel; cache misses serialize their one collective among
+// themselves but never overlap an update.
+//
+// # Endpoints
+//
+//	GET  /healthz                     liveness (200 "ok")
+//	GET  /instances                   instance inventory with queue/config info
+//	POST /instances/{id}/updates      enqueue one update batch (async)
+//	POST /instances/{id}/query        answer a batch of connectivity queries
+//	GET  /instances/{id}/components?vertices=a,b,c   component labels
+//	GET  /metrics                     Prometheus text-format metrics
+//
+// Updates are JSON batches {"updates": [{"op": "insert"|"delete", "u": 0,
+// "v": 1, "weight": 3}, ...]}; a batch is validated against the instance's
+// mirror graph at admission (vertex range, no self-loops, each edge touched
+// at most once, inserts of absent edges, deletes of present ones) and then
+// applied asynchronously, in admission order, by the applier. A successful
+// enqueue returns 202 Accepted — read-your-write is NOT guaranteed until
+// the queue drains; the queue_depth field of the response and the
+// mpcserve_queue_depth gauge expose the lag. Queries are JSON pair batches
+// {"pairs": [[u,v], ...]} answered via the batched QueryBatch path
+// (ConnectedAll): zero rounds when the label cache is warm, one O(1/φ)-round
+// collective otherwise.
+//
+// # Backpressure
+//
+// The update queue is bounded (Config.QueueDepth). When it is full the
+// server refuses the batch with 429 Too Many Requests and a Retry-After
+// header instead of buffering without bound; the client owns the retry.
+// Invalid batches are 422, batches exceeding the instance's MaxBatch are
+// 413, and updates sent during shutdown are 503.
+//
+// # Checkpointing
+//
+// Close drains every queue (new updates get 503), then — when
+// Config.CheckpointDir is set — checkpoints every instance into
+// instance-NNN.snap files via snapshot.WriteFileAtomic (temp file, fsync,
+// rename), so a crash during shutdown never truncates a previous good
+// checkpoint. New restores any instance whose snapshot file exists, after
+// config-echo validation, and the restored label cache keeps warm queries
+// warm: answers after a graceful restart are bit-identical to a process
+// that never restarted.
+//
+// # Metrics
+//
+// All metrics carry an instance="N" label:
+//
+//	mpcserve_rounds_total                  counter; MPC rounds executed (update path)
+//	mpcserve_query_cache_hits_total        counter; query batches answered warm (zero rounds)
+//	mpcserve_query_cache_misses_total      counter; query batches that ran a cache-fill collective
+//	mpcserve_update_batches_applied_total  counter
+//	mpcserve_updates_applied_total         counter; individual edge updates
+//	mpcserve_update_batches_rejected_total counter; 429 backpressure refusals
+//	mpcserve_query_batches_total           counter
+//	mpcserve_queue_depth                   gauge; batches waiting in the update queue
+//	mpcserve_restore_cycles_total          counter; checkpoint/restore cycles survived
+//	mpcserve_instance_healthy              gauge; 0 after an applier failure
+//	mpcserve_batch_apply_seconds           histogram; wall time per applied batch
+package server

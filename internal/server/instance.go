@@ -1,0 +1,276 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// Section tags of the server layer of an instance snapshot: run metadata
+// (config echo + restore-cycle count) and the admission mirror, written
+// ahead of the connectivity state.
+const (
+	tagServerMeta   = 0x60
+	tagServerMirror = 0x61
+)
+
+// latencyBuckets are the upper bounds, in seconds, of the batch-apply
+// latency histogram (one overflow bucket is added for +Inf).
+var latencyBuckets = [...]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Admission errors the HTTP layer maps onto status codes.
+var (
+	errQueueFull = errors.New("update queue full")
+	errDraining  = errors.New("instance is draining (server shutting down)")
+)
+
+// badBatchError marks a batch the admission validator refused; the HTTP
+// layer reports it as 422 rather than 500.
+type badBatchError struct{ err error }
+
+func (e *badBatchError) Error() string { return e.err.Error() }
+func (e *badBatchError) Unwrap() error { return e.err }
+
+// instance is one independently served graph: a DynamicConnectivity under
+// the single-writer/many-reader lock, a bounded update queue drained by one
+// applier goroutine, and an admission mirror that keeps every queued batch
+// valid by construction.
+type instance struct {
+	id  int
+	cfg core.Config
+
+	// adm serializes admission: the mirror check, the mirror apply, and the
+	// enqueue happen atomically, so the queue always holds batches that are
+	// valid in queue order and the len(queue) capacity check cannot race
+	// (only the applier removes elements).
+	adm       sync.Mutex
+	accepting bool
+	mirror    *graph.Graph
+	queue     chan graph.Batch
+
+	// mu is the instance's single-writer/many-reader contract lock: the
+	// applier applies batches under Lock, handlers answer queries under
+	// RLock (see the core query engine's concurrency contract).
+	mu sync.RWMutex
+	dc *core.DynamicConnectivity
+
+	wg      sync.WaitGroup
+	failure atomic.Pointer[applyFailure]
+
+	// Metrics, all atomics so /metrics scrapes never take the locks.
+	batchesApplied  atomic.Uint64
+	updatesApplied  atomic.Uint64
+	batchesRejected atomic.Uint64
+	queryBatches    atomic.Uint64
+	restoreCycles   atomic.Uint64
+	rounds          atomic.Int64
+	applyNanos      atomic.Int64
+	applyCount      atomic.Uint64
+	applyBuckets    [len(latencyBuckets) + 1]atomic.Uint64
+}
+
+// applyFailure records the first applier error; the instance refuses all
+// traffic afterwards (its state may be mid-batch).
+type applyFailure struct{ err error }
+
+// newInstance builds an instance and starts its applier.
+func newInstance(id int, cfg core.Config, queueDepth int) (*instance, error) {
+	dc, err := core.NewDynamicConnectivity(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: instance %d: %w", id, err)
+	}
+	in := &instance{
+		id:        id,
+		cfg:       cfg,
+		accepting: true,
+		mirror:    graph.New(cfg.N),
+		queue:     make(chan graph.Batch, queueDepth),
+		dc:        dc,
+	}
+	in.wg.Add(1)
+	go in.applier()
+	return in, nil
+}
+
+// applier is the instance's single writer: it drains the queue and applies
+// each batch under the exclusive lock. Admission already validated every
+// queued batch against the mirror, so an apply error here means corrupted
+// state — the instance is marked failed and refuses traffic, but the loop
+// keeps draining so shutdown never hangs.
+func (in *instance) applier() {
+	defer in.wg.Done()
+	for b := range in.queue {
+		start := time.Now()
+		in.mu.Lock()
+		err := in.dc.ApplyBatch(b)
+		rounds := in.dc.Cluster().Stats().Rounds
+		in.mu.Unlock()
+		in.observeApply(time.Since(start))
+		in.rounds.Store(int64(rounds))
+		if err != nil {
+			in.failure.CompareAndSwap(nil, &applyFailure{err: err})
+			continue
+		}
+		in.batchesApplied.Add(1)
+		in.updatesApplied.Add(uint64(len(b)))
+	}
+}
+
+// observeApply records one batch-apply latency sample.
+func (in *instance) observeApply(d time.Duration) {
+	in.applyNanos.Add(int64(d))
+	in.applyCount.Add(1)
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			in.applyBuckets[i].Add(1)
+			return
+		}
+	}
+	in.applyBuckets[len(latencyBuckets)].Add(1)
+}
+
+// failed returns the instance's terminal error, if any.
+func (in *instance) failed() error {
+	if f := in.failure.Load(); f != nil {
+		return fmt.Errorf("instance %d failed: %w", in.id, f.err)
+	}
+	return nil
+}
+
+// offer validates b against the admission mirror and enqueues it for the
+// applier. It returns errQueueFull (backpressure: the caller retries),
+// errDraining (shutdown), a *badBatchError (the batch is invalid against
+// the current graph), or nil on a successful enqueue.
+func (in *instance) offer(b graph.Batch) error {
+	if err := in.failed(); err != nil {
+		return err
+	}
+	in.adm.Lock()
+	defer in.adm.Unlock()
+	if !in.accepting {
+		return errDraining
+	}
+	if len(in.queue) == cap(in.queue) {
+		in.batchesRejected.Add(1)
+		return errQueueFull
+	}
+	if err := validateBatch(in.mirror, b); err != nil {
+		return &badBatchError{err}
+	}
+	if err := in.mirror.Apply(b); err != nil {
+		// Unreachable after validateBatch; fail loudly rather than desync.
+		return fmt.Errorf("admission mirror diverged: %w", err)
+	}
+	in.queue <- b
+	return nil
+}
+
+// validateBatch checks that b applies cleanly to g as one atomic batch:
+// every vertex in range, no self-loops, each edge touched at most once (so
+// sequential validity equals independent validity), inserts only of absent
+// edges, deletes only of present ones.
+func validateBatch(g *graph.Graph, b graph.Batch) error {
+	touched := make(map[graph.Edge]bool, len(b))
+	for i, up := range b {
+		e := up.Edge.Canonical()
+		if e.U == e.V {
+			return fmt.Errorf("update %d: self-loop {%d,%d}", i, e.U, e.V)
+		}
+		if e.U < 0 || e.V >= g.N() {
+			return fmt.Errorf("update %d: edge {%d,%d} outside vertex range [0,%d)", i, e.U, e.V, g.N())
+		}
+		if touched[e] {
+			return fmt.Errorf("update %d: edge {%d,%d} touched twice in one batch", i, e.U, e.V)
+		}
+		touched[e] = true
+		switch up.Op {
+		case graph.Insert:
+			if g.Has(e.U, e.V) {
+				return fmt.Errorf("update %d: insert of present edge {%d,%d}", i, e.U, e.V)
+			}
+		case graph.Delete:
+			if !g.Has(e.U, e.V) {
+				return fmt.Errorf("update %d: delete of absent edge {%d,%d}", i, e.U, e.V)
+			}
+		default:
+			return fmt.Errorf("update %d: unknown op %v", i, up.Op)
+		}
+	}
+	return nil
+}
+
+// drain stops admission (new offers get errDraining) and waits until every
+// queued batch has been applied. Idempotent.
+func (in *instance) drain() {
+	in.adm.Lock()
+	if in.accepting {
+		in.accepting = false
+		close(in.queue)
+	}
+	in.adm.Unlock()
+	in.wg.Wait()
+}
+
+// instancePath is the snapshot file of instance id under dir.
+func instancePath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("instance-%03d.snap", id))
+}
+
+// Checkpoint implements snapshot.Checkpointer. The caller must have drained
+// the instance (or otherwise hold it exclusively): Close checkpoints only
+// after drain, so no applier or query traffic is in flight.
+func (in *instance) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagServerMeta)
+	e.Int(in.cfg.N)
+	e.F64(in.cfg.Phi)
+	e.U64(in.cfg.Seed)
+	e.U64(in.restoreCycles.Load())
+	e.Begin(tagServerMirror)
+	snapshot.EncodeGraph(e, in.mirror)
+	in.dc.Checkpoint(e)
+}
+
+// restore loads the snapshot at path into this freshly constructed
+// instance, after validating the config echo, and bumps the restore-cycle
+// counter (which persists across restarts via the meta section).
+func (in *instance) restore(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := snapshot.NewDecoder(f)
+	if err != nil {
+		return err
+	}
+	d.Begin(tagServerMeta)
+	n, phi, seed, cycles := d.Int(), d.F64(), d.U64(), d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != in.cfg.N || phi != in.cfg.Phi || seed != in.cfg.Seed {
+		return fmt.Errorf("server: snapshot %s holds (n=%d, phi=%v, seed=%d), instance %d is configured (n=%d, phi=%v, seed=%d)",
+			path, n, phi, seed, in.id, in.cfg.N, in.cfg.Phi, in.cfg.Seed)
+	}
+	d.Begin(tagServerMirror)
+	if err := snapshot.DecodeGraphInto(d, in.mirror); err != nil {
+		return err
+	}
+	if err := in.dc.Restore(d); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	in.restoreCycles.Store(cycles + 1)
+	return nil
+}

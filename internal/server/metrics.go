@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// handleMetrics renders the fleet's metrics in Prometheus text exposition
+// format. Every value is an atomic read, so scrapes never contend with the
+// update or query paths.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b bytes.Buffer
+	counter := func(name, help string, of func(in *instance) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, in := range s.insts {
+			fmt.Fprintf(&b, "%s{instance=\"%d\"} %d\n", name, in.id, of(in))
+		}
+	}
+	gauge := func(name, help string, of func(in *instance) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, in := range s.insts {
+			fmt.Fprintf(&b, "%s{instance=\"%d\"} %s\n", name, in.id, formatFloat(of(in)))
+		}
+	}
+
+	counter("mpcserve_rounds_total", "Cumulative MPC rounds executed by the instance (observed on the update path).",
+		func(in *instance) uint64 { return uint64(in.rounds.Load()) })
+	counter("mpcserve_query_cache_hits_total", "Query batches answered entirely from the warm label cache (zero rounds).",
+		func(in *instance) uint64 { hits, _ := in.dc.QueryCacheStats(); return hits })
+	counter("mpcserve_query_cache_misses_total", "Query batches that ran a cache-fill collective.",
+		func(in *instance) uint64 { _, misses := in.dc.QueryCacheStats(); return misses })
+	counter("mpcserve_update_batches_applied_total", "Update batches applied by the instance's applier.",
+		func(in *instance) uint64 { return in.batchesApplied.Load() })
+	counter("mpcserve_updates_applied_total", "Individual edge updates applied.",
+		func(in *instance) uint64 { return in.updatesApplied.Load() })
+	counter("mpcserve_update_batches_rejected_total", "Update batches refused with 429 because the queue was full.",
+		func(in *instance) uint64 { return in.batchesRejected.Load() })
+	counter("mpcserve_query_batches_total", "Query batches answered (connectivity and component lookups).",
+		func(in *instance) uint64 { return in.queryBatches.Load() })
+	counter("mpcserve_restore_cycles_total", "Checkpoint/restore cycles this instance has survived.",
+		func(in *instance) uint64 { return in.restoreCycles.Load() })
+	gauge("mpcserve_queue_depth", "Update batches waiting in the bounded queue.",
+		func(in *instance) float64 { return float64(len(in.queue)) })
+	gauge("mpcserve_instance_healthy", "1 while the instance serves traffic, 0 after an applier failure.",
+		func(in *instance) float64 {
+			if in.failed() != nil {
+				return 0
+			}
+			return 1
+		})
+
+	const hist = "mpcserve_batch_apply_seconds"
+	fmt.Fprintf(&b, "# HELP %s Wall-clock latency of one applied update batch.\n# TYPE %s histogram\n", hist, hist)
+	for _, in := range s.insts {
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += in.applyBuckets[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{instance=\"%d\",le=\"%s\"} %d\n", hist, in.id, formatFloat(ub), cum)
+		}
+		cum += in.applyBuckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(&b, "%s_bucket{instance=\"%d\",le=\"+Inf\"} %d\n", hist, in.id, cum)
+		fmt.Fprintf(&b, "%s_sum{instance=\"%d\"} %s\n", hist, in.id,
+			formatFloat(time.Duration(in.applyNanos.Load()).Seconds()))
+		fmt.Fprintf(&b, "%s_count{instance=\"%d\"} %d\n", hist, in.id, in.applyCount.Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent for
+// the magnitudes used here, no trailing zeros).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

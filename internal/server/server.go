@@ -1,0 +1,383 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// maxBodyBytes bounds request bodies: a batch never legitimately needs more
+// (MaxBatch updates at a few dozen JSON bytes each).
+const maxBodyBytes = 8 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Instances is the number of independent graph instances served.
+	Instances int
+	// N, Phi, Seed, Parallelism configure each instance's core cluster;
+	// instance i is seeded with Seed + i*0x9e3779b9 so instances are
+	// independent but the fleet is reproducible from one seed.
+	N           int
+	Phi         float64
+	Seed        uint64
+	Parallelism int
+	// QueueDepth bounds each instance's update queue (default 16); a full
+	// queue refuses updates with 429 instead of buffering without bound.
+	QueueDepth int
+	// CheckpointDir, when set, is where Close checkpoints every instance
+	// (instance-NNN.snap) and where New looks for snapshots to restore.
+	CheckpointDir string
+}
+
+// validate reports a descriptive usage error for an unusable config.
+func (c Config) validate() error {
+	if c.Instances < 1 {
+		return fmt.Errorf("server: Instances = %d (want >= 1)", c.Instances)
+	}
+	if c.N < 2 {
+		return fmt.Errorf("server: N = %d (want >= 2)", c.N)
+	}
+	if c.Phi <= 0 || c.Phi > 1 {
+		return fmt.Errorf("server: Phi = %v (want (0, 1])", c.Phi)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("server: QueueDepth = %d (want >= 1)", c.QueueDepth)
+	}
+	return nil
+}
+
+// Server owns a fleet of graph instances and serves the HTTP API described
+// in the package documentation. It implements http.Handler.
+type Server struct {
+	cfg    Config
+	insts  []*instance
+	mux    *http.ServeMux
+	closed atomic.Bool
+}
+
+// New builds the fleet. When cfg.CheckpointDir holds a snapshot for an
+// instance, that instance is restored from it (config-echo validated), so a
+// gracefully stopped server resumes bit-identically; instances without a
+// snapshot start empty.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	for i := 0; i < cfg.Instances; i++ {
+		icfg := core.Config{
+			N:           cfg.N,
+			Phi:         cfg.Phi,
+			Seed:        cfg.Seed + uint64(i)*0x9e3779b9,
+			Parallelism: cfg.Parallelism,
+		}
+		in, err := newInstance(i, icfg, cfg.QueueDepth)
+		if err != nil {
+			s.stopInstances()
+			return nil, err
+		}
+		s.insts = append(s.insts, in)
+		if cfg.CheckpointDir != "" {
+			path := instancePath(cfg.CheckpointDir, i)
+			if _, statErr := os.Stat(path); statErr == nil {
+				if err := in.restore(path); err != nil {
+					s.stopInstances()
+					return nil, fmt.Errorf("server: restore instance %d from %s: %w", i, path, err)
+				}
+			}
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// stopInstances drains whatever instances were already started (used on
+// construction failure so no applier goroutine leaks).
+func (s *Server) stopInstances() {
+	for _, in := range s.insts {
+		in.drain()
+	}
+}
+
+// Close gracefully shuts the fleet down: admission stops (updates get 503),
+// every queue drains, and — when CheckpointDir is set — every instance is
+// checkpointed via snapshot.WriteFileAtomic. Idempotent; returns the first
+// checkpoint error.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, in := range s.insts {
+		wg.Add(1)
+		go func(in *instance) {
+			defer wg.Done()
+			in.drain()
+		}(in)
+	}
+	wg.Wait()
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, in := range s.insts {
+		// The write lock excludes any query handler still in flight (the
+		// closed gate stops new ones): Checkpoint reads the label cache and
+		// cluster state without further locking.
+		in.mu.Lock()
+		err := snapshot.WriteFileAtomic(instancePath(s.cfg.CheckpointDir, in.id), in)
+		in.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /instances", s.handleList)
+	s.mux.HandleFunc("POST /instances/{id}/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /instances/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /instances/{id}/components", s.handleComponents)
+}
+
+// --- wire types ----------------------------------------------------------
+
+// WireUpdate is one edge update of an UpdateRequest.
+type WireUpdate struct {
+	Op     string `json:"op"` // "insert" or "delete"
+	U      int    `json:"u"`
+	V      int    `json:"v"`
+	Weight int64  `json:"weight,omitempty"`
+}
+
+// UpdateRequest is the body of POST /instances/{id}/updates.
+type UpdateRequest struct {
+	Updates []WireUpdate `json:"updates"`
+}
+
+// UpdateResponse acknowledges an enqueued batch. QueueDepth is the number
+// of batches (including this one) not yet applied — the read-your-write lag.
+type UpdateResponse struct {
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// QueryRequest is the body of POST /instances/{id}/query.
+type QueryRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+// QueryResponse carries the batched connectivity answers, aligned with the
+// request pairs, plus the current component count.
+type QueryResponse struct {
+	Connected  []bool `json:"connected"`
+	Components int    `json:"components"`
+}
+
+// ComponentsResponse is the body of GET /instances/{id}/components.
+type ComponentsResponse struct {
+	Labels []int `json:"labels"`
+}
+
+// InstanceInfo is one entry of GET /instances.
+type InstanceInfo struct {
+	ID         int     `json:"id"`
+	N          int     `json:"n"`
+	Phi        float64 `json:"phi"`
+	MaxBatch   int     `json:"max_batch"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	Healthy    bool    `json:"healthy"`
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.closed.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	out := make([]InstanceInfo, 0, len(s.insts))
+	for _, in := range s.insts {
+		out = append(out, InstanceInfo{
+			ID:         in.id,
+			N:          in.cfg.N,
+			Phi:        in.cfg.Phi,
+			MaxBatch:   in.dc.MaxBatch(),
+			QueueDepth: len(in.queue),
+			QueueCap:   cap(in.queue),
+			Healthy:    in.failed() == nil,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// instanceOf resolves the {id} path value, writing the error response
+// itself when the id is missing, malformed, or out of range.
+func (s *Server) instanceOf(w http.ResponseWriter, r *http.Request) (*instance, bool) {
+	if s.closed.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= len(s.insts) {
+		http.Error(w, fmt.Sprintf("unknown instance %q (have 0..%d)", r.PathValue("id"), len(s.insts)-1), http.StatusNotFound)
+		return nil, false
+	}
+	return s.insts[id], true
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad update request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Updates) == 0 {
+		http.Error(w, "empty update batch", http.StatusBadRequest)
+		return
+	}
+	if max := in.dc.MaxBatch(); len(req.Updates) > max {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds the instance's MaxBatch %d", len(req.Updates), max),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	b := make(graph.Batch, 0, len(req.Updates))
+	for i, u := range req.Updates {
+		// Range/self-loop checks before graph.NewEdge, which panics on a
+		// self-loop rather than returning an error.
+		if u.U == u.V || u.U < 0 || u.V < 0 || u.U >= in.cfg.N || u.V >= in.cfg.N {
+			http.Error(w, fmt.Sprintf("update %d: invalid edge {%d,%d} over %d vertices", i, u.U, u.V, in.cfg.N),
+				http.StatusUnprocessableEntity)
+			return
+		}
+		switch u.Op {
+		case "insert":
+			b = append(b, graph.InsW(u.U, u.V, u.Weight))
+		case "delete":
+			b = append(b, graph.DelW(u.U, u.V, u.Weight))
+		default:
+			http.Error(w, fmt.Sprintf("update %d: unknown op %q (want insert or delete)", i, u.Op), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	err := in.offer(b)
+	var bad *badBatchError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, UpdateResponse{Queued: len(b), QueueDepth: len(in.queue)})
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "update queue full, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, errDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &bad):
+		http.Error(w, "invalid batch: "+bad.Error(), http.StatusUnprocessableEntity)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	if err := in.failed(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad query request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		http.Error(w, "empty query batch", http.StatusBadRequest)
+		return
+	}
+	pairs := make([]core.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[1] < 0 || p[0] >= in.cfg.N || p[1] >= in.cfg.N {
+			http.Error(w, fmt.Sprintf("pair %d: vertex outside [0,%d)", i, in.cfg.N), http.StatusUnprocessableEntity)
+			return
+		}
+		pairs[i] = core.Pair{U: p[0], V: p[1]}
+	}
+	in.mu.RLock()
+	ans := in.dc.ConnectedAll(pairs)
+	comps := in.dc.NumComponents()
+	in.mu.RUnlock()
+	in.queryBatches.Add(1)
+	writeJSON(w, http.StatusOK, QueryResponse{Connected: ans, Components: comps})
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	if err := in.failed(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	raw := r.URL.Query().Get("vertices")
+	if raw == "" {
+		http.Error(w, "missing ?vertices=a,b,c", http.StatusBadRequest)
+		return
+	}
+	parts := strings.Split(raw, ",")
+	vertices := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 || v >= in.cfg.N {
+			http.Error(w, fmt.Sprintf("bad vertex %q (want 0..%d)", p, in.cfg.N-1), http.StatusUnprocessableEntity)
+			return
+		}
+		vertices = append(vertices, v)
+	}
+	in.mu.RLock()
+	labels := in.dc.ComponentsOf(vertices)
+	in.mu.RUnlock()
+	in.queryBatches.Add(1)
+	writeJSON(w, http.StatusOK, ComponentsResponse{Labels: labels})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,392 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// testConfig is a small fleet that keeps unit tests fast.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{Instances: 2, N: 32, Phi: 0.6, Seed: 7, Parallelism: 1, QueueDepth: 4}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitDrained blocks until the instance's queue is empty and applied.
+func waitDrained(t *testing.T, in *instance) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(in.queue) > 0 || in.batchesApplied.Load()+in.batchesRejected.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One more round trip through the applier: queue empty does not mean the
+	// in-flight batch finished; a write-lock acquisition does.
+	in.mu.Lock()
+	in.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+}
+
+func TestServerUpdateQueryFlow(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig(t))
+	resp := postJSON(t, ts.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{
+		{Op: "insert", U: 0, V: 1},
+		{Op: "insert", U: 1, V: 2},
+		{Op: "insert", U: 4, V: 5},
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	ack := decodeJSON[UpdateResponse](t, resp)
+	if ack.Queued != 3 {
+		t.Fatalf("queued %d updates, want 3", ack.Queued)
+	}
+	waitDrained(t, srv.insts[0])
+
+	resp = postJSON(t, ts.URL+"/instances/0/query", QueryRequest{Pairs: [][2]int{{0, 2}, {0, 4}, {4, 5}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	q := decodeJSON[QueryResponse](t, resp)
+	want := []bool{true, false, true}
+	for i := range want {
+		if q.Connected[i] != want[i] {
+			t.Errorf("pair %d: got %v, want %v", i, q.Connected[i], want[i])
+		}
+	}
+	if q.Components != 32-3 {
+		t.Errorf("components = %d, want %d", q.Components, 32-3)
+	}
+
+	// The other instance is independent: nothing is connected there.
+	resp = postJSON(t, ts.URL+"/instances/1/query", QueryRequest{Pairs: [][2]int{{0, 1}}})
+	if got := decodeJSON[QueryResponse](t, resp); got.Connected[0] {
+		t.Error("instance 1 saw instance 0's edges")
+	}
+
+	// Components endpoint agrees with the pair queries.
+	cresp, err := http.Get(ts.URL + "/instances/0/components?vertices=0,1,2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := decodeJSON[ComponentsResponse](t, cresp).Labels
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[0] == labels[3] {
+		t.Errorf("labels = %v: want 0,1,2 together and 3 apart", labels)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig(t))
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown instance", "/instances/99/query", QueryRequest{Pairs: [][2]int{{0, 1}}}, http.StatusNotFound},
+		{"garbage id", "/instances/x/query", QueryRequest{Pairs: [][2]int{{0, 1}}}, http.StatusNotFound},
+		{"empty batch", "/instances/0/updates", UpdateRequest{}, http.StatusBadRequest},
+		{"self loop", "/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 3, V: 3}}}, http.StatusUnprocessableEntity},
+		{"out of range", "/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 0, V: 99}}}, http.StatusUnprocessableEntity},
+		{"bad op", "/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "upsert", U: 0, V: 1}}}, http.StatusUnprocessableEntity},
+		{"delete absent", "/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "delete", U: 8, V: 9}}}, http.StatusUnprocessableEntity},
+		{"duplicate edge", "/instances/0/updates", UpdateRequest{Updates: []WireUpdate{
+			{Op: "insert", U: 0, V: 1}, {Op: "insert", U: 1, V: 0}}}, http.StatusUnprocessableEntity},
+		{"empty query", "/instances/0/query", QueryRequest{}, http.StatusBadRequest},
+		{"query out of range", "/instances/0/query", QueryRequest{Pairs: [][2]int{{0, 32}}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.url, tc.body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	// An oversize batch is refused up front with 413.
+	big := UpdateRequest{}
+	for i := 0; i <= srv.insts[0].dc.MaxBatch(); i++ {
+		big.Updates = append(big.Updates, WireUpdate{Op: "insert", U: 0, V: 1})
+	}
+	resp := postJSON(t, ts.URL+"/instances/0/updates", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServerBackpressure pins the 429 contract: with the applier stalled
+// (we hold the instance read lock, which blocks its write-lock acquisition)
+// the bounded queue fills and the next batch is refused, with the refusal
+// visible in the rejected counter and Retry-After set.
+func TestServerBackpressure(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	srv, ts := newTestServer(t, cfg)
+	in := srv.insts[0]
+
+	in.mu.RLock()
+	stalled := true
+	defer func() {
+		if stalled {
+			in.mu.RUnlock()
+		}
+	}()
+
+	statuses := make([]int, 0, 4)
+	for i := 0; i < cfg.QueueDepth+2; i++ {
+		resp := postJSON(t, ts.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{
+			{Op: "insert", U: 2 * i, V: 2*i + 1},
+		}})
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	}
+	// The applier may pull one batch out of the queue and stall holding it,
+	// so up to QueueDepth+1 batches are admitted; the rest must be 429.
+	rejected := 0
+	for _, s := range statuses {
+		switch s {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d (want 202 or 429)", s)
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("no batch was refused: statuses %v", statuses)
+	}
+	if got := in.batchesRejected.Load(); got != uint64(rejected) {
+		t.Errorf("rejected counter = %d, want %d", got, rejected)
+	}
+
+	// Unstall: everything admitted must still apply.
+	in.mu.RUnlock()
+	stalled = false
+	waitDrained(t, in)
+	if got := int(in.batchesApplied.Load()); got != len(statuses)-rejected {
+		t.Errorf("applied %d batches, want %d", got, len(statuses)-rejected)
+	}
+}
+
+// TestServerCheckpointRestore pins the graceful-restart lifecycle: shut
+// down with a checkpoint dir, start a new fleet from it, and the restored
+// instances answer bit-identically — warm, and with intact admission
+// mirrors (a delete of a restored edge is accepted, a duplicate insert is
+// not).
+func TestServerCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	for id := 0; id < cfg.Instances; id++ {
+		resp := postJSON(t, fmt.Sprintf("%s/instances/%d/updates", ts1.URL, id), UpdateRequest{Updates: []WireUpdate{
+			{Op: "insert", U: 0, V: 1, Weight: 3},
+			{Op: "insert", U: 2, V: 3},
+			{Op: "insert", U: 1, V: 2},
+		}})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("instance %d: status %d", id, resp.StatusCode)
+		}
+	}
+	for _, in := range srv1.insts {
+		waitDrained(t, in)
+	}
+	pairs := [][2]int{{0, 3}, {0, 4}, {2, 1}}
+	resp := postJSON(t, ts1.URL+"/instances/0/query", QueryRequest{Pairs: pairs})
+	before := decodeJSON[QueryResponse](t, resp)
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newTestServer(t, cfg)
+	for _, in := range srv2.insts {
+		if got := in.restoreCycles.Load(); got != 1 {
+			t.Errorf("instance %d: restore cycles = %d, want 1", in.id, got)
+		}
+		if got := in.mirror.M(); got != 3 {
+			t.Errorf("instance %d: restored mirror has %d edges, want 3", in.id, got)
+		}
+	}
+	resp = postJSON(t, ts2.URL+"/instances/0/query", QueryRequest{Pairs: pairs})
+	after := decodeJSON[QueryResponse](t, resp)
+	if fmt.Sprint(after) != fmt.Sprint(before) {
+		t.Errorf("restored answers %v, want %v", after, before)
+	}
+	// The label cache was restored warm: the query above must not have run
+	// a collective.
+	if hits, misses := srv2.insts[0].dc.QueryCacheStats(); hits == 0 || misses != 0 {
+		t.Errorf("restored query was not warm: hits=%d misses=%d", hits, misses)
+	}
+	// Admission mirror survived: duplicate insert refused, delete accepted.
+	resp = postJSON(t, ts2.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 0, V: 1}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("duplicate insert after restore: status %d, want 422", resp.StatusCode)
+	}
+	resp = postJSON(t, ts2.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "delete", U: 0, V: 1}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("delete of restored edge: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint asserts the advertised metric names are present and
+// the series the acceptance criteria care about are nonzero after traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig(t))
+	resp := postJSON(t, ts.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 0, V: 1}}})
+	resp.Body.Close()
+	waitDrained(t, srv.insts[0])
+	for i := 0; i < 3; i++ {
+		resp = postJSON(t, ts.URL+"/instances/0/query", QueryRequest{Pairs: [][2]int{{0, 1}}})
+		resp.Body.Close()
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body := readAll(t, mresp)
+	for _, name := range []string{
+		"mpcserve_rounds_total",
+		"mpcserve_query_cache_hits_total",
+		"mpcserve_query_cache_misses_total",
+		"mpcserve_update_batches_applied_total",
+		"mpcserve_updates_applied_total",
+		"mpcserve_update_batches_rejected_total",
+		"mpcserve_query_batches_total",
+		"mpcserve_queue_depth",
+		"mpcserve_restore_cycles_total",
+		"mpcserve_instance_healthy",
+		"mpcserve_batch_apply_seconds_bucket",
+		"mpcserve_batch_apply_seconds_sum",
+		"mpcserve_batch_apply_seconds_count",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics output missing %s", name)
+		}
+	}
+	// Cold query then two warm ones: both series nonzero, and one batch
+	// produced a latency sample.
+	for _, want := range []string{
+		`mpcserve_query_cache_hits_total{instance="0"} 2`,
+		`mpcserve_query_cache_misses_total{instance="0"} 1`,
+		`mpcserve_batch_apply_seconds_count{instance="0"} 1`,
+		`mpcserve_instance_healthy{instance="0"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Instances: 0, N: 16, Phi: 0.6},
+		{Instances: 1, N: 1, Phi: 0.6},
+		{Instances: 1, N: 16, Phi: 0},
+		{Instances: 1, N: 16, Phi: 1.5},
+		{Instances: 1, N: 16, Phi: 0.6, QueueDepth: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	g := graph.New(8)
+	if err := g.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ok := graph.Batch{graph.Ins(2, 3), graph.Del(0, 1)}
+	if err := validateBatch(g, ok); err != nil {
+		t.Errorf("valid batch refused: %v", err)
+	}
+	for name, b := range map[string]graph.Batch{
+		"dup insert":    {graph.Ins(0, 1)},
+		"absent delete": {graph.Del(4, 5)},
+		"touch twice":   {graph.Ins(2, 3), graph.Del(2, 3)},
+		"out of range":  {{Op: graph.Insert, Edge: graph.Edge{U: 0, V: 99}}},
+		"negative":      {{Op: graph.Insert, Edge: graph.Edge{U: -1, V: 2}}},
+	} {
+		if err := validateBatch(g, b); err == nil {
+			t.Errorf("%s: batch accepted", name)
+		}
+	}
+	// validateBatch never mutates the graph.
+	if g.M() != 1 {
+		t.Errorf("validation mutated the graph: M = %d", g.M())
+	}
+}

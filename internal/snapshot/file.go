@@ -1,0 +1,66 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic checkpoints states into path with crash-safe semantics:
+// the snapshot is written to a temporary file in the same directory, fsynced,
+// and renamed over path, with the directory fsynced afterwards so the rename
+// itself is durable. A crash at any point leaves either the previous file
+// intact or the new one complete — never a truncated snapshot that Load
+// would reject after the old one is already gone. Every error, including the
+// ones Close reports at the end of a buffered write, is returned.
+func WriteFileAtomic(path string, states ...Checkpointer) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	discard := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := Save(f, states...); err != nil {
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir makes a just-completed rename in dir durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// LoadFile restores states from the snapshot file at path (the read-side
+// convenience partner of WriteFileAtomic).
+func LoadFile(path string, states ...Restorer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, states...)
+}

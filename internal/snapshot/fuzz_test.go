@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 // FuzzSnapshotDecode hammers the snapshot container decoder with arbitrary
@@ -36,6 +38,18 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(skewed)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A structurally valid container whose section claims an absurd item
+	// count: the bounded accessors must latch a diagnostic, never hand the
+	// claimed count to an allocator (testdata carries this shape too, as
+	// huge-count).
+	he := NewEncoder()
+	he.Begin(3)
+	he.Int(1 << 40)
+	var hbuf bytes.Buffer
+	if _, err := he.WriteTo(&hbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hbuf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := NewDecoder(bytes.NewReader(data))
@@ -77,6 +91,62 @@ func FuzzSnapshotDecode(f *testing.F) {
 				break
 			}
 		}
+		// Third pass through the bounded count prefix: whatever the first
+		// word claims, Count must return something the remaining section can
+		// actually hold, so sizing an allocation from it is always safe.
+		d3, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, ok := d3.Next(); !ok {
+				break
+			}
+			n := d3.Count(2)
+			if rem := len(d3.cur) - d3.off; d3.Err() == nil && n > rem/2 {
+				t.Fatalf("Count(2) = %d with only %d words left", n, rem)
+			}
+			for i := 0; i < n && d3.Err() == nil; i++ {
+				_ = d3.U64()
+				_ = d3.U64()
+			}
+			if d3.Err() != nil {
+				break
+			}
+		}
+	})
+}
+
+// FuzzGraphDecode exercises DecodeGraphInto against arbitrary section
+// contents: a corrupted count or edge triple must fail with a diagnostic
+// error, never panic or allocate from an unvalidated count.
+func FuzzGraphDecode(f *testing.F) {
+	mk := func(words []uint64) []byte {
+		e := NewEncoder()
+		e.Begin(9)
+		for _, w := range words {
+			e.U64(w)
+		}
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(mk([]uint64{1, 0, 1, 5}))          // one valid edge {0,1} w=5
+	f.Add(mk([]uint64{uint64(1) << 50}))     // huge count, empty body
+	f.Add(mk([]uint64{2, 0, 1, 5, 0, 1, 5})) // duplicate edge
+	f.Add(mk([]uint64{1, ^uint64(0), 3, 1})) // negative endpoint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, ok := d.Next(); !ok {
+			return
+		}
+		g := graph.New(8)
+		_ = DecodeGraphInto(d, g)
 	})
 }
 

@@ -1,0 +1,51 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EncodeGraph appends g's live edge set to the current section as a
+// count-prefixed list of (u, v, weight) triples in canonical sorted order,
+// so two identical graphs always serialize to identical bytes regardless of
+// insertion history. Pair with DecodeGraphInto.
+func EncodeGraph(e *Encoder, g *graph.Graph) {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	e.Int(len(edges))
+	for _, we := range edges {
+		e.Int(we.U)
+		e.Int(we.V)
+		e.I64(we.Weight)
+	}
+}
+
+// DecodeGraphInto reads an edge list written by EncodeGraph and inserts it
+// into g, which must be freshly constructed over the right vertex count.
+// The count prefix is bounded against the section before anything is
+// allocated, and each edge is validated by the graph itself (range, parallel
+// edges), so corrupt input fails with a diagnostic.
+func DecodeGraphInto(d *Decoder, g *graph.Graph) error {
+	cnt := d.Count(3)
+	for i := 0; i < cnt && d.Err() == nil; i++ {
+		u, v := d.Int(), d.Int()
+		w := d.I64()
+		if d.Err() != nil {
+			break
+		}
+		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+			return fmt.Errorf("snapshot graph edge {%d,%d}: vertex out of range [0,%d)", u, v, g.N())
+		}
+		if err := g.Insert(u, v, w); err != nil {
+			return fmt.Errorf("snapshot graph edge {%d,%d}: %w", u, v, err)
+		}
+	}
+	return d.Err()
+}

@@ -355,6 +355,29 @@ func (d *Decoder) Bool() bool {
 	}
 }
 
+// Count reads a count prefix for a sequence whose items each occupy at
+// least minWordsPerItem words, and bounds it against the words remaining in
+// the current section before the caller sizes any allocation from it. A
+// corrupted prefix (negative, or claiming more items than the section could
+// possibly hold) latches a diagnostic and returns 0, so restore loops that
+// pre-size maps/slices with make(..., n) never hand an absurd capacity to
+// the allocator.
+func (d *Decoder) Count(minWordsPerItem int) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if minWordsPerItem < 1 {
+		minWordsPerItem = 1
+	}
+	if rem := len(d.cur) - d.off; n < 0 || n > rem/minWordsPerItem {
+		d.fail("section %#x: count of %d items (>= %d words each) overruns section (%d words left)",
+			d.tag, n, minWordsPerItem, rem)
+		return 0
+	}
+	return n
+}
+
 // U64s reads a length-prefixed word slice. The returned slice aliases the
 // decoder's buffer and is valid for the decoder's lifetime; copy it into
 // long-lived state.
@@ -453,7 +476,7 @@ func DecodeClusterStats(d *Decoder) mpc.Stats {
 		PeakMachineWords: d.Int(),
 		PeakTotalWords:   d.Int(),
 	}
-	n := d.Int()
+	n := d.Count(1)
 	for i := 0; i < n && d.Err() == nil; i++ {
 		st.Violations = append(st.Violations, d.String())
 	}

@@ -3,9 +3,11 @@ package snapshot
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/mpc"
 )
 
@@ -231,6 +233,142 @@ func TestSaveLoadComposition(t *testing.T) {
 	}
 	if ra.value != 111 || rb.value != 222 {
 		t.Errorf("composed load got (%d, %d)", ra.value, rb.value)
+	}
+}
+
+// TestCountBounds pins the bounded count prefix: counts the remaining
+// section can hold pass through, absurd or negative counts latch a
+// diagnostic and return 0 so no allocation is ever sized from them.
+func TestCountBounds(t *testing.T) {
+	cases := []struct {
+		name  string
+		count uint64
+		items int // words appended after the prefix
+		per   int
+		want  int
+		ok    bool
+	}{
+		{"exact", 3, 6, 2, 3, true},
+		{"loose", 2, 6, 2, 2, true},
+		{"zero", 0, 0, 4, 0, true},
+		{"one-over", 4, 6, 2, 0, false},
+		{"huge", 1 << 40, 2, 2, 0, false},
+		{"negative", ^uint64(0), 2, 2, 0, false},
+		{"near-maxint", 1<<63 - 1, 2, 1, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEncoder()
+			e.Begin(1)
+			e.U64(tc.count)
+			for i := 0; i < tc.items; i++ {
+				e.U64(uint64(i))
+			}
+			var buf bytes.Buffer
+			if _, err := e.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			d, err := NewDecoder(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Begin(1)
+			got := d.Count(tc.per)
+			if got != tc.want {
+				t.Errorf("Count(%d) = %d, want %d", tc.per, got, tc.want)
+			}
+			if tc.ok && d.Err() != nil {
+				t.Errorf("in-bounds count rejected: %v", d.Err())
+			}
+			if !tc.ok && (d.Err() == nil || !strings.Contains(d.Err().Error(), "overruns")) {
+				t.Errorf("out-of-bounds count not rejected: %v", d.Err())
+			}
+		})
+	}
+}
+
+// TestWriteFileAtomic checks the crash-safe write path end to end: the
+// snapshot lands complete and loadable, overwrites are atomic replacements
+// of the previous file, and no temporary files are left behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/state.snap"
+	for round, value := range []int{111, 222} {
+		if err := WriteFileAtomic(path, &fakeState{tag: 3, value: value}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got := &fakeState{tag: 3}
+		if err := LoadFile(path, got); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.value != value {
+			t.Errorf("round %d: loaded %d, want %d", round, got.value, value)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.snap" {
+		t.Errorf("directory holds %v, want just state.snap (no stray temp files)", entries)
+	}
+	// A write into a nonexistent directory must fail up front and must not
+	// create anything.
+	if err := WriteFileAtomic(dir+"/missing/state.snap", &fakeState{tag: 3}); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
+// TestGraphRoundTrip pins EncodeGraph/DecodeGraphInto: canonical bytes
+// regardless of insertion order, and exact edge/weight recovery.
+func TestGraphRoundTrip(t *testing.T) {
+	a, b := graph.New(8), graph.New(8)
+	edges := [][3]int64{{0, 1, 5}, {2, 3, -7}, {1, 4, 9}, {0, 7, 1}}
+	for _, e := range edges {
+		if err := a.Insert(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		e := edges[i]
+		if err := b.Insert(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc := func(g *graph.Graph) []byte {
+		e := NewEncoder()
+		e.Begin(6)
+		EncodeGraph(e, g)
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	da, db := enc(a), enc(b)
+	if !bytes.Equal(da, db) {
+		t.Error("same graph, different insertion order: bytes differ")
+	}
+	d, err := NewDecoder(bytes.NewReader(da))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(6)
+	got := graph.New(8)
+	if err := DecodeGraphInto(d, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != a.M() {
+		t.Fatalf("decoded %d edges, want %d", got.M(), a.M())
+	}
+	for _, e := range edges {
+		w, ok := got.Weight(int(e[0]), int(e[1]))
+		if !ok || w != e[2] {
+			t.Errorf("edge {%d,%d}: weight %d/%v, want %d", e[0], e[1], w, ok, e[2])
+		}
 	}
 }
 

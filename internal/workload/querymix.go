@@ -22,9 +22,10 @@ import (
 // split real workloads show instead of the almost-always-disconnected
 // answers of uniform sampling on sparse graphs.
 type QueryMix struct {
-	gen Generator
-	n   int
-	prg *hash.PRG
+	gen  Generator
+	n    int
+	seed uint64
+	prg  *hash.PRG
 }
 
 // NewQueryMix wraps gen (over n vertices) with a query stream drawn from
@@ -33,7 +34,7 @@ func NewQueryMix(gen Generator, n int, seed uint64) *QueryMix {
 	if n < 2 {
 		panic(fmt.Sprintf("workload: QueryMix over n = %d", n))
 	}
-	return &QueryMix{gen: gen, n: n, prg: hash.NewPRG(seed ^ 0x51c9)}
+	return &QueryMix{gen: gen, n: n, seed: seed ^ 0x51c9, prg: hash.NewPRG(seed ^ 0x51c9)}
 }
 
 // Next forwards to the wrapped update generator.
@@ -45,6 +46,22 @@ func (q *QueryMix) Mirror() *graph.Graph { return q.gen.Mirror() }
 // NextQueries emits the next batch of k query pairs against the current
 // mirror state.
 func (q *QueryMix) NextQueries(k int) [][2]int {
+	return q.drawQueries(q.prg, k)
+}
+
+// NextQueriesFrom draws a batch of k query pairs from an independent PRG
+// derived from the mix's seed and the given salt, leaving the mix's own
+// query stream untouched. Concurrent reader clients (the server soak, the
+// core race tests) each pick a distinct salt and get their own
+// deterministic stream against the current mirror; the caller must ensure
+// the mirror is not concurrently mutated (reads under the instance read
+// lock satisfy this).
+func (q *QueryMix) NextQueriesFrom(salt uint64, k int) [][2]int {
+	return q.drawQueries(hash.NewPRG(q.seed^(salt*0x9e3779b97f4a7c15+0x2545)), k)
+}
+
+// drawQueries samples k pairs from prg against the current mirror.
+func (q *QueryMix) drawQueries(prg *hash.PRG, k int) [][2]int {
 	out := make([][2]int, 0, k)
 	// Edges() comes back in unspecified (map) order; sort so the sampled
 	// query stream is deterministic for a given seed and update prefix.
@@ -56,13 +73,13 @@ func (q *QueryMix) NextQueries(k int) [][2]int {
 		return edges[i].V < edges[j].V
 	})
 	for len(out) < k {
-		if len(edges) > 0 && q.prg.NextN(2) == 0 {
-			e := edges[q.prg.NextN(uint64(len(edges)))]
+		if len(edges) > 0 && prg.NextN(2) == 0 {
+			e := edges[prg.NextN(uint64(len(edges)))]
 			out = append(out, [2]int{e.U, e.V})
 			continue
 		}
-		u := int(q.prg.NextN(uint64(q.n)))
-		v := int(q.prg.NextN(uint64(q.n)))
+		u := int(prg.NextN(uint64(q.n)))
+		v := int(prg.NextN(uint64(q.n)))
 		if u == v {
 			continue
 		}

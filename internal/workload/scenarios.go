@@ -110,6 +110,7 @@ type PowerLaw struct {
 // deleteFrac in [0,1) is the per-update probability of attempting a
 // deletion; maxWeight > 1 makes the stream weighted.
 func NewPowerLaw(n int, seed uint64, deleteFrac float64, maxWeight int64) *PowerLaw {
+	validateN(n)
 	return &PowerLaw{
 		n:          n,
 		g:          graph.New(n),
@@ -188,6 +189,7 @@ type SlidingWindow struct {
 // NewSlidingWindow returns a sliding-window generator holding at most
 // window live edges (window <= 0 defaults to 3n).
 func NewSlidingWindow(n, window int, seed uint64, maxWeight int64) *SlidingWindow {
+	validateN(n)
 	if window <= 0 {
 		window = 3 * n
 	}
@@ -251,6 +253,7 @@ type Community struct {
 // defaults to 8, clamped so each community has at least 4 vertices) and the
 // given phase period in batches (<= 0 defaults to 2).
 func NewCommunity(n, k, period int, seed uint64) *Community {
+	validateN(n)
 	if k <= 0 {
 		k = 8
 	}
@@ -358,6 +361,7 @@ type Bursty struct {
 
 // NewBursty returns a burst generator.
 func NewBursty(n int, seed uint64) *Bursty {
+	validateN(n)
 	return &Bursty{n: n, g: graph.New(n), prg: hash.NewPRG(seed)}
 }
 
@@ -425,6 +429,7 @@ type Star struct {
 
 // NewStar returns a star-churn generator centered on vertex 0.
 func NewStar(n int, seed uint64) *Star {
+	validateN(n)
 	return &Star{n: n, g: graph.New(n), prg: hash.NewPRG(seed)}
 }
 
@@ -464,6 +469,7 @@ type PathChurn struct {
 
 // NewPathChurn returns a path-churn generator.
 func NewPathChurn(n int, seed uint64) *PathChurn {
+	validateN(n)
 	return &PathChurn{n: n, g: graph.New(n), prg: hash.NewPRG(seed)}
 }
 
@@ -504,6 +510,7 @@ type Cliques struct {
 // NewCliques returns a disjoint-cliques generator with blocks of csize
 // vertices (csize <= 0 defaults to 8, clamped to n/2 for tiny n).
 func NewCliques(n, csize int, seed uint64) *Cliques {
+	validateN(n)
 	if csize <= 0 {
 		csize = 8
 	}

@@ -35,10 +35,39 @@ type Config struct {
 	MaxWeight  int64   // 0 = unweighted
 }
 
-// NewChurn returns a generator over an initially empty graph.
-func NewChurn(cfg Config) *Churn {
+// Validate reports whether the config can drive a generator, with a
+// descriptive usage error otherwise. CLIs and servers call this before
+// construction so a bad flag (n < 2, negative weight range, out-of-range
+// bias) surfaces as an error message instead of a panic from deep inside a
+// PRG or graph constructor.
+func (cfg Config) Validate() error {
 	if cfg.N < 2 {
-		panic(fmt.Sprintf("workload: N = %d", cfg.N))
+		return fmt.Errorf("workload: generator needs at least 2 vertices, got n = %d", cfg.N)
+	}
+	if cfg.MaxWeight < 0 {
+		return fmt.Errorf("workload: negative MaxWeight %d (use 0 for unweighted, > 0 for weights in [1, MaxWeight])", cfg.MaxWeight)
+	}
+	if cfg.InsertBias < 0 || cfg.InsertBias > 1 {
+		return fmt.Errorf("workload: InsertBias %v outside [0, 1]", cfg.InsertBias)
+	}
+	return nil
+}
+
+// validateN is the construction-time guard shared by every generator: the
+// scenario constructors take a bare vertex count, and a count below 2 would
+// otherwise panic opaquely inside graph.New or prg.NextN.
+func validateN(n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: generator needs at least 2 vertices, got n = %d", n))
+	}
+}
+
+// NewChurn returns a generator over an initially empty graph. The config
+// must be valid (see Config.Validate); construction panics on a bad one —
+// callers handling user input validate first.
+func NewChurn(cfg Config) *Churn {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	bias := cfg.InsertBias
 	if bias == 0 {
@@ -199,6 +228,7 @@ type Bipartiteish struct {
 // NewBipartiteish returns the generator; violateAt lists the Next calls
 // (0-based) that inject a same-parity edge.
 func NewBipartiteish(n int, seed uint64, violateAt ...int) *Bipartiteish {
+	validateN(n)
 	v := map[int]bool{}
 	for _, s := range violateAt {
 		v[s] = true

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -126,4 +127,64 @@ func TestNewChurnPanicsOnTinyN(t *testing.T) {
 		}
 	}()
 	NewChurn(Config{N: 1})
+}
+
+// TestConfigValidate pins the construction-time validation the CLIs and the
+// server rely on: every malformed config yields a descriptive error, every
+// usable one (including zero-value defaults) passes.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{N: 0},
+		{N: 1},
+		{N: -5},
+		{N: 16, MaxWeight: -1},
+		{N: 16, InsertBias: -0.1},
+		{N: 16, InsertBias: 1.5},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	good := []Config{
+		{N: 2},
+		{N: 16, MaxWeight: 64, InsertBias: 0.6},
+		{N: 16, InsertBias: 1}, // boundary: keep every existing edge
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+// TestConstructorsRejectTinyN checks every scenario constructor fails fast
+// with the shared diagnostic instead of a graph.New or prg.NextN panic.
+func TestConstructorsRejectTinyN(t *testing.T) {
+	ctors := map[string]func(){
+		"churn":     func() { NewChurn(Config{N: 1}) },
+		"powerlaw":  func() { NewPowerLaw(1, 1, 0.25, 0) },
+		"window":    func() { NewSlidingWindow(1, 0, 1, 0) },
+		"community": func() { NewCommunity(1, 0, 0, 1) },
+		"bursty":    func() { NewBursty(1, 1) },
+		"star":      func() { NewStar(1, 1) },
+		"path":      func() { NewPathChurn(1, 1) },
+		"cliques":   func() { NewCliques(1, 0, 1) },
+		"bipartite": func() { NewBipartiteish(1, 1) },
+		"querymix":  func() { NewQueryMix(NewStar(4, 1), 1, 1) },
+	}
+	for name, ctor := range ctors {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				msg, ok := recover().(string)
+				if !ok {
+					t.Fatal("n=1 did not panic with a diagnostic")
+				}
+				if !strings.Contains(msg, "at least 2 vertices") && !strings.Contains(msg, "n = 1") {
+					t.Fatalf("panic message not descriptive: %q", msg)
+				}
+			}()
+			ctor()
+		})
+	}
 }
