@@ -13,6 +13,10 @@
 // instance's queue, checkpoints each instance atomically into
 // -checkpoint-dir (when set), and exits; a subsequent start with the same
 // flags restores every instance bit-identically, warm caches included.
+// Checkpoints form a chain: the first is a full base, later ones (including
+// -checkpoint-every periodic background checkpoints) are cheap deltas that
+// carry only the state dirtied since the previous checkpoint, compacted
+// into a fresh base every -max-delta-chain deltas.
 package main
 
 import (
@@ -41,17 +45,28 @@ func main() {
 	queue := flag.Int("queue", 16, "bounded update-queue depth per instance (full queue = 429)")
 	checkpointDir := flag.String("checkpoint-dir", "",
 		"checkpoint every instance here on graceful shutdown and restore on startup (empty = stateless)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0,
+		"also checkpoint every instance at this period while serving (0 = only on shutdown; requires -checkpoint-dir)")
+	maxDeltaChain := flag.Int("max-delta-chain", 8,
+		"delta checkpoints allowed per full base before compaction (0 = full checkpoints only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "HTTP shutdown grace period")
 	flag.Parse()
 
+	if *checkpointEvery > 0 && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "mpcserve: -checkpoint-every requires -checkpoint-dir")
+		os.Exit(2)
+	}
+
 	srv, err := server.New(server.Config{
-		Instances:     *instances,
-		N:             *n,
-		Phi:           *phi,
-		Seed:          *seed,
-		Parallelism:   *parallelism,
-		QueueDepth:    *queue,
-		CheckpointDir: *checkpointDir,
+		Instances:       *instances,
+		N:               *n,
+		Phi:             *phi,
+		Seed:            *seed,
+		Parallelism:     *parallelism,
+		QueueDepth:      *queue,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		MaxDeltaChain:   *maxDeltaChain,
 	})
 	if err != nil {
 		// server.Config.validate covers the flag checks (-instances >= 1,

@@ -29,15 +29,22 @@
 // crash-safe snapshot of the final connectivity state (plus the mirror
 // graph) so a later invocation can continue the run without replaying it;
 // -resume restores such a snapshot before replaying a -stream trace of
-// further updates, oracle-verified against the restored mirror. With
-// -scenario, -crash-every k injects a seeded kill/restore cycle roughly
-// every k batches into the differential harness run — every scenario
-// doubles as a crash/recovery scenario, and the oracle checks must still
-// pass after every restore.
+// further updates, oracle-verified against the restored mirror. Checkpoints
+// form a chain: when -resume and -checkpoint name the same path, the new
+// checkpoint is an incremental delta carrying only the replayed updates and
+// the state they dirtied, compacted into a fresh full base every
+// -max-delta-chain deltas; stale temp files from an interrupted checkpoint
+// are swept before loading. With -scenario, -crash-every k injects a seeded
+// kill/restore cycle roughly every k batches into the differential harness
+// run — every scenario doubles as a crash/recovery scenario, and the oracle
+// checks must still pass after every restore — and -delta-every k cuts a
+// chain checkpoint every k batches, so each restore replays a full base
+// plus a multi-delta chain.
 //
 //	mpcstream -algo connectivity -n 256 -batches 50 -checkpoint state.snap
 //	mpcstream -algo connectivity -resume state.snap -stream more.txt
-//	mpcstream -algo connectivity -scenario powerlaw -batches 200 -crash-every 50
+//	mpcstream -algo connectivity -resume state.snap -stream more.txt -checkpoint state.snap
+//	mpcstream -algo connectivity -scenario powerlaw -batches 200 -crash-every 50 -delta-every 10
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the run (see
 // README.md "Profiling").
@@ -86,6 +93,10 @@ func main() {
 		"restore state from a -checkpoint snapshot before replaying further updates (requires -stream)")
 	crashEvery := flag.Int("crash-every", 0,
 		"with -scenario: inject a seeded kill+checkpoint+restore cycle roughly every k batches (0 disables)")
+	deltaEvery := flag.Int("delta-every", 0,
+		"with -scenario: checkpoint every k batches into an in-memory chain (full base, then deltas), so crash restores replay base+chain (0 disables)")
+	maxDeltaChain := flag.Int("max-delta-chain", 8,
+		"delta checkpoints allowed per full base before compaction (0 = full checkpoints only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -93,7 +104,7 @@ func main() {
 	// Validate flags before constructing generators or clusters, so a bad
 	// combination is a usage error on stderr, not a raw panic from deep
 	// inside a constructor (e.g. workload.NewQueryMix on n < 2).
-	if err := validateFlags(*n, *batches, *queries, *crashEvery, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
+	if err := validateFlags(*n, *batches, *queries, *crashEvery, *deltaEvery, *maxDeltaChain, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
@@ -104,14 +115,15 @@ func main() {
 	}
 	switch {
 	case *streamFile != "":
-		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *resumeFile, *checkpointFile)
+		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *maxDeltaChain, *resumeFile, *checkpointFile)
 	case *scenario != "":
 		err = runScenario(*algo, *scenario, harness.Options{
 			N: *n, Batches: *batches, Seed: *seed, Phi: *phi, Parallelism: *parallelism,
 			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight, CrashEvery: *crashEvery,
+			CheckpointEvery: *deltaEvery, MaxDeltaChain: *maxDeltaChain,
 		})
 	default:
-		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries, *checkpointFile)
+		err = run(*algo, *n, *phi, *batches, *seed, *alpha, *eps, *maxWeight, *insertBias, *parallelism, *queries, *maxDeltaChain, *checkpointFile)
 	}
 	// Profiles are written even for a failed run — a hang or slow failure
 	// is exactly when a profile is wanted.
@@ -128,7 +140,7 @@ func main() {
 }
 
 // validateFlags rejects invalid or incoherent flag combinations up front.
-func validateFlags(n, batches, queries, crashEvery int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
+func validateFlags(n, batches, queries, crashEvery, deltaEvery, maxDeltaChain int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
 	}
@@ -157,6 +169,15 @@ func validateFlags(n, batches, queries, crashEvery int, maxWeight int64, insertB
 	if crashEvery > 0 && scenario == "" {
 		return fmt.Errorf("-crash-every requires -scenario")
 	}
+	if deltaEvery < 0 {
+		return fmt.Errorf("-delta-every must be non-negative (got %d)", deltaEvery)
+	}
+	if maxDeltaChain < 0 {
+		return fmt.Errorf("-max-delta-chain must be non-negative (got %d)", maxDeltaChain)
+	}
+	if deltaEvery > 0 && scenario == "" {
+		return fmt.Errorf("-delta-every requires -scenario")
+	}
 	if resumeFile != "" && streamFile == "" {
 		return fmt.Errorf("-resume requires -stream: a generated workload cannot continue a restored graph " +
 			"(its generator state is not part of the snapshot)")
@@ -178,7 +199,7 @@ func runScenario(algo, scenario string, opt harness.Options) error {
 	return nil
 }
 
-func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism, queries int, checkpointFile string) error {
+func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps float64, maxWeight int64, insertBias float64, parallelism, queries, maxDeltaChain int, checkpointFile string) error {
 	cfg := core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism}
 	gen := workload.NewChurn(workload.Config{N: n, Seed: seed + 1, MaxWeight: maxWeight, InsertBias: insertBias})
 	switch algo {
@@ -223,7 +244,10 @@ func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps f
 		}
 		report(dc.Cluster().Stats(), batches)
 		if checkpointFile != "" {
-			if err := writeCheckpoint(checkpointFile, &streamState{n: n, phi: phi, seed: seed, dc: dc, mirror: gen.Mirror()}); err != nil {
+			// A fresh chain is never linked to on-disk state, so this writes a
+			// full base (and sweeps any stale deltas left at that path).
+			st := &streamState{n: n, phi: phi, seed: seed, parallelism: parallelism, dc: dc, mirror: gen.Mirror()}
+			if err := writeCheckpoint(snapshot.OpenChain(checkpointFile, maxDeltaChain), st); err != nil {
 				return err
 			}
 		}
@@ -308,21 +332,32 @@ func run(algo string, n int, phi float64, batches int, seed uint64, alpha, eps f
 
 // Section tags of the CLI layer of a snapshot: run metadata and the mirror
 // graph, written ahead of the connectivity state so a resuming process can
-// size its cluster before restoring.
+// size its cluster before restoring. Delta containers use their own pair:
+// the meta echo is repeated (tiny, keeps every container self-validating)
+// and the mirror section carries only the updates applied since the last
+// acknowledged checkpoint.
 const (
-	tagCLIMeta   = 0x50
-	tagCLIMirror = 0x51
+	tagCLIMeta        = 0x50
+	tagCLIMirror      = 0x51
+	tagCLIMetaDelta   = 0x52
+	tagCLIMirrorDelta = 0x53
 )
 
 // streamState is the CLI's checkpoint unit: the run parameters, the mirror
 // graph (so a resumed replay can still be oracle-verified), and the
-// connectivity instance.
+// connectivity instance. It implements snapshot.DeltaState, so a checkpoint
+// chain can alternate full bases with cheap deltas.
 type streamState struct {
-	n      int
-	phi    float64
-	seed   uint64
-	dc     *core.DynamicConnectivity
-	mirror *graph.Graph
+	n           int
+	phi         float64
+	seed        uint64
+	parallelism int
+	dc          *core.DynamicConnectivity
+	mirror      *graph.Graph
+
+	// pending journals every update applied since the last acknowledged
+	// checkpoint; delta checkpoints ship it instead of the whole mirror.
+	pending graph.Batch
 }
 
 // Checkpoint implements snapshot.Checkpointer.
@@ -336,63 +371,117 @@ func (s *streamState) Checkpoint(e *snapshot.Encoder) {
 	s.dc.Checkpoint(e)
 }
 
-// writeCheckpoint saves the state snapshot to path atomically (temp file,
-// fsync, rename), so an interrupted write never clobbers a previous good
-// checkpoint with a truncated one.
-func writeCheckpoint(path string, st *streamState) error {
-	if err := snapshot.WriteFileAtomic(path, st); err != nil {
-		return err
-	}
-	fmt.Printf("checkpoint written to %s\n", path)
-	return nil
-}
-
-// resumeState restores a streamState from a snapshot file: the cluster is
-// rebuilt from the snapshot's run metadata (the current -parallelism flag
-// still selects the execution engine — it is not state) and the mirror
-// graph and connectivity state are reloaded.
-func resumeState(path string, parallelism int) (*streamState, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	d, err := snapshot.NewDecoder(f)
-	if err != nil {
-		return nil, err
-	}
+// Restore implements snapshot.Restorer: the cluster is rebuilt from the
+// snapshot's run metadata (the current -parallelism flag still selects the
+// execution engine — it is not state) and the mirror graph and connectivity
+// state are reloaded.
+func (s *streamState) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagCLIMeta)
-	st := &streamState{n: d.Int(), phi: d.F64(), seed: d.U64()}
+	s.n, s.phi, s.seed = d.Int(), d.F64(), d.U64()
 	if err := d.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	// The meta section is the config source here (nothing to cross-check it
 	// against yet), so sanity-validate it before sizing a graph or cluster
 	// from it: a malformed value must be a diagnostic, not a make() panic.
-	if st.n < 2 || st.n > 1<<31 {
-		return nil, fmt.Errorf("snapshot declares %d vertices (want 2..2^31)", st.n)
+	if s.n < 2 || s.n > 1<<31 {
+		return fmt.Errorf("snapshot declares %d vertices (want 2..2^31)", s.n)
 	}
-	if st.phi <= 0 || st.phi > 1 {
-		return nil, fmt.Errorf("snapshot declares Phi=%v (want (0,1])", st.phi)
+	if s.phi <= 0 || s.phi > 1 {
+		return fmt.Errorf("snapshot declares Phi=%v (want (0,1])", s.phi)
 	}
 	d.Begin(tagCLIMirror)
-	st.mirror = graph.New(st.n)
-	if err := snapshot.DecodeGraphInto(d, st.mirror); err != nil {
-		return nil, err
+	s.mirror = graph.New(s.n)
+	if err := snapshot.DecodeGraphInto(d, s.mirror); err != nil {
+		return err
 	}
-	st.dc, err = core.NewDynamicConnectivity(core.Config{N: st.n, Phi: st.phi, Seed: st.seed, Parallelism: parallelism})
+	var err error
+	s.dc, err = core.NewDynamicConnectivity(core.Config{N: s.n, Phi: s.phi, Seed: s.seed, Parallelism: s.parallelism})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := st.dc.Restore(d); err != nil {
-		return nil, err
+	return s.dc.Restore(d)
+}
+
+// CheckpointDelta implements snapshot.DeltaCheckpointer: the mirror section
+// carries only the journaled updates — replaying them onto the restored
+// base mirror reproduces the full mirror exactly.
+func (s *streamState) CheckpointDelta(e *snapshot.Encoder) {
+	e.Begin(tagCLIMetaDelta)
+	e.Int(s.n)
+	e.F64(s.phi)
+	e.U64(s.seed)
+	e.Begin(tagCLIMirrorDelta)
+	snapshot.EncodeUpdates(e, s.pending)
+	s.dc.CheckpointDelta(e)
+}
+
+// RestoreDelta implements snapshot.DeltaRestorer: it replays one delta on
+// top of the previously restored state.
+func (s *streamState) RestoreDelta(d *snapshot.Decoder) error {
+	d.Begin(tagCLIMetaDelta)
+	n, phi, seed := d.Int(), d.F64(), d.U64()
+	if err := d.Err(); err != nil {
+		return err
 	}
-	return st, d.Finish()
+	if n != s.n || phi != s.phi || seed != s.seed {
+		return fmt.Errorf("delta declares (n=%d, phi=%v, seed=%d), base restored (n=%d, phi=%v, seed=%d)",
+			n, phi, seed, s.n, s.phi, s.seed)
+	}
+	d.Begin(tagCLIMirrorDelta)
+	if err := snapshot.DecodeUpdatesInto(d, s.mirror); err != nil {
+		return err
+	}
+	return s.dc.RestoreDelta(d)
+}
+
+// AckCheckpoint implements snapshot.DeltaState: the chain calls it once the
+// container is durable, making the written state the new delta baseline.
+func (s *streamState) AckCheckpoint() {
+	s.pending = nil
+	s.dc.AckCheckpoint()
+}
+
+// writeCheckpoint saves the next checkpoint of the chain atomically (temp
+// file, fsync, rename) — a delta when the chain was resumed from disk and
+// has room, a full base otherwise — so an interrupted write never clobbers
+// a previous good checkpoint with a truncated one.
+func writeCheckpoint(chain *snapshot.Chain, st *streamState) error {
+	kind, bytes, err := chain.Checkpoint(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s checkpoint written to %s (%d bytes, chain length %d)\n", kind, chain.Path(), bytes, chain.Len())
+	return nil
+}
+
+// resumeState restores a streamState from a checkpoint chain rooted at
+// path: stale temp files from an interrupted checkpoint are swept, then the
+// base snapshot and every delta linking to it are replayed in sequence.
+func resumeState(path string, parallelism, maxDeltaChain int) (*streamState, *snapshot.Chain, error) {
+	if swept, err := snapshot.SweepStaleTemps(path); err != nil {
+		return nil, nil, err
+	} else if len(swept) > 0 {
+		fmt.Printf("swept %d stale checkpoint temp file(s)\n", len(swept))
+	}
+	st := &streamState{parallelism: parallelism}
+	chain := snapshot.OpenChain(path, maxDeltaChain)
+	ok, err := chain.Restore(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("no snapshot at %s", path)
+	}
+	return st, chain, nil
 }
 
 // runStream replays a trace file through the connectivity algorithm,
-// optionally resuming from and/or writing a checkpoint.
-func runStream(algo, path string, phi float64, seed uint64, parallelism int, resumeFile, checkpointFile string) error {
+// optionally resuming from and/or writing a checkpoint. When -resume and
+// -checkpoint name the same path, the written checkpoint extends the
+// restored chain as a cheap delta (carrying only the replayed updates and
+// the state they dirtied) instead of rewriting the full snapshot.
+func runStream(algo, path string, phi float64, seed uint64, parallelism, maxDeltaChain int, resumeFile, checkpointFile string) error {
 	if algo != "connectivity" {
 		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
 	}
@@ -406,15 +495,16 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int, res
 		return err
 	}
 	var st *streamState
+	var chain *snapshot.Chain
 	if resumeFile != "" {
-		st, err = resumeState(resumeFile, parallelism)
+		st, chain, err = resumeState(resumeFile, parallelism, maxDeltaChain)
 		if err != nil {
 			return fmt.Errorf("resume %s: %w", resumeFile, err)
 		}
 		if maxV := streamio.MaxVertex(batches); maxV >= st.n {
 			return fmt.Errorf("stream references vertex %d but the resumed snapshot covers [0,%d)", maxV, st.n)
 		}
-		fmt.Printf("resumed %d vertices, %d edges from %s\n", st.n, st.mirror.M(), resumeFile)
+		fmt.Printf("resumed %d vertices, %d edges from %s (chain length %d)\n", st.n, st.mirror.M(), resumeFile, chain.Len())
 	} else {
 		n := streamio.MaxVertex(batches) + 1
 		if n < 2 {
@@ -424,7 +514,7 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int, res
 		if err != nil {
 			return err
 		}
-		st = &streamState{n: n, phi: phi, seed: seed, dc: dc, mirror: graph.New(n)}
+		st = &streamState{n: n, phi: phi, seed: seed, parallelism: parallelism, dc: dc, mirror: graph.New(n)}
 	}
 	// Pre-validate so a corrupt trace yields an error, not Replay's panic.
 	probe := graph.New(st.n)
@@ -438,9 +528,13 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int, res
 	}
 	rp := workload.NewReplayFrom(st.mirror, batches)
 	for !rp.Done() {
-		if err := st.dc.ApplyBatch(rp.Next(st.dc.MaxBatch())); err != nil {
+		b := rp.Next(st.dc.MaxBatch())
+		if err := st.dc.ApplyBatch(b); err != nil {
 			return err
 		}
+		// Journal the replayed updates so a delta checkpoint can ship just
+		// them instead of the whole mirror.
+		st.pending = append(st.pending, b...)
 	}
 	if err := harness.VerifyConnectivity(st.dc, rp.Mirror()); err != nil {
 		return fmt.Errorf("replay diverged from the oracle: %w", err)
@@ -450,7 +544,12 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism int, res
 	report(st.dc.Cluster().Stats(), len(batches))
 	if checkpointFile != "" {
 		st.mirror = rp.Mirror()
-		return writeCheckpoint(checkpointFile, st)
+		if chain == nil || checkpointFile != resumeFile {
+			// Writing somewhere other than the resumed chain: start a fresh
+			// chain there, which forces a full base.
+			chain = snapshot.OpenChain(checkpointFile, maxDeltaChain)
+		}
+		return writeCheckpoint(chain, st)
 	}
 	return nil
 }

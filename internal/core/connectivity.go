@@ -122,6 +122,7 @@ func (dc *DynamicConnectivity) updateSketches(edges []graph.Edge, op graph.Op) {
 			for _, v := range []int{e.U, e.V} {
 				if vs.owns(v) {
 					sh.of(v).ApplyEdge(v, e, u.op)
+					sh.arena.MarkDirty(v - sh.lo)
 				}
 			}
 		}

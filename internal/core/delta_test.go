@@ -1,0 +1,362 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// deltaChain is the in-memory test double of snapshot.Chain: a base
+// container plus delta containers with their identities.
+type deltaChain struct {
+	base   bytes.Buffer
+	baseID uint64
+	tipID  uint64
+	deltas []*bytes.Buffer
+}
+
+func (c *deltaChain) saveBase(t testing.TB, dc *core.DynamicConnectivity) {
+	t.Helper()
+	id, err := snapshot.SaveBase(&c.base, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.baseID = id
+	c.tipID = id
+	dc.AckCheckpoint()
+}
+
+func (c *deltaChain) saveDelta(t testing.TB, dc *core.DynamicConnectivity) {
+	t.Helper()
+	var buf bytes.Buffer
+	link := snapshot.ChainLink{Base: c.baseID, Prev: c.tipID, Seq: uint64(len(c.deltas) + 1)}
+	id, err := snapshot.SaveDelta(&buf, link, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.deltas = append(c.deltas, &buf)
+	c.tipID = id
+	dc.AckCheckpoint()
+}
+
+func (c *deltaChain) restore(t testing.TB, dc *core.DynamicConnectivity) {
+	t.Helper()
+	id, err := snapshot.LoadBase(bytes.NewReader(c.base.Bytes()), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := id
+	for i, buf := range c.deltas {
+		want := snapshot.ChainLink{Base: c.baseID, Prev: prev, Seq: uint64(i + 1)}
+		next, err := snapshot.LoadDelta(bytes.NewReader(buf.Bytes()), want, dc)
+		if err != nil {
+			t.Fatalf("delta %d: %v", i+1, err)
+		}
+		prev = next
+	}
+}
+
+// TestDeltaChainRestoreBitIdentical is the delta acceptance property:
+// restoring base + delta chain into a fresh instance must be bit-identical —
+// Stats, components, forest, and warm query answers — to restoring one full
+// snapshot of the same final state, and both must equal the live instance,
+// at parallelism 1 and 8. The stream includes deletions, so the chain
+// carries tombstones, fragment rebuilds, and relabels, not just upserts.
+func TestDeltaChainRestoreBitIdentical(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		dc, mix := warmInstance(t, 64, par, 4, 17)
+		var chain deltaChain
+		chain.saveBase(t, dc)
+		// Three deltas, each covering two batches of churn plus queries (so
+		// the label cache is warm and epoch-scoped entries ride the delta).
+		for k := 0; k < 3; k++ {
+			for i := 0; i < 2; i++ {
+				if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+					t.Fatal(err)
+				}
+				dc.ConnectedAllInto(nil, toPairs(mix.NextQueries(16)))
+			}
+			chain.saveDelta(t, dc)
+		}
+		var full bytes.Buffer
+		if err := snapshot.Save(&full, dc); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := func() *core.DynamicConnectivity {
+			r, err := core.NewDynamicConnectivity(core.Config{N: 64, Phi: 0.6, Seed: 17, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		fromChain := fresh()
+		chain.restore(t, fromChain)
+		fromFull := fresh()
+		if err := snapshot.Load(bytes.NewReader(full.Bytes()), fromFull); err != nil {
+			t.Fatal(err)
+		}
+
+		for name, r := range map[string]*core.DynamicConnectivity{"chain": fromChain, "full": fromFull} {
+			if !reflect.DeepEqual(dc.Cluster().Stats(), r.Cluster().Stats()) {
+				t.Fatalf("par %d: %s-restored Stats differ:\n  live:     %+v\n  restored: %+v",
+					par, name, dc.Cluster().Stats(), r.Cluster().Stats())
+			}
+			if !reflect.DeepEqual(dc.SnapshotComponents(), r.SnapshotComponents()) {
+				t.Fatalf("par %d: %s-restored components differ", par, name)
+			}
+			if !reflect.DeepEqual(dc.SnapshotForest(), r.SnapshotForest()) {
+				t.Fatalf("par %d: %s-restored forest differs", par, name)
+			}
+		}
+
+		// Continue live and chain-restored in lockstep: answers and Stats must
+		// stay identical (in particular the restored cache is still warm).
+		for i := 0; i < 3; i++ {
+			b := mix.Next(dc.MaxBatch())
+			if err := dc.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := fromChain.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			pairs := toPairs(mix.NextQueries(32))
+			if !reflect.DeepEqual(dc.ConnectedAll(pairs), fromChain.ConnectedAll(pairs)) {
+				t.Fatalf("par %d: post-restore answers diverged at batch %d", par, i)
+			}
+		}
+		if !reflect.DeepEqual(dc.Cluster().Stats(), fromChain.Cluster().Stats()) {
+			t.Fatalf("par %d: post-restore Stats diverged:\n  live:     %+v\n  restored: %+v",
+				par, dc.Cluster().Stats(), fromChain.Cluster().Stats())
+		}
+	}
+}
+
+// TestDeltaRejectsOrphanAndOutOfOrder pins the chain-identity validation:
+// a delta naming the wrong base (orphaned) or the wrong position (out of
+// order) is rejected before any state section is decoded.
+func TestDeltaRejectsOrphanAndOutOfOrder(t *testing.T) {
+	dc, mix := warmInstance(t, 64, 1, 3, 19)
+	var chain deltaChain
+	chain.saveBase(t, dc)
+	if err := dc.ApplyBatch(mix.Next(dc.MaxBatch())); err != nil {
+		t.Fatal(err)
+	}
+	chain.saveDelta(t, dc)
+	delta := chain.deltas[0].Bytes()
+
+	fresh, err := core.NewDynamicConnectivity(core.Config{N: 64, Phi: 0.6, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.LoadBase(bytes.NewReader(chain.base.Bytes()), fresh); err != nil {
+		t.Fatal(err)
+	}
+	wrongBase := snapshot.ChainLink{Base: chain.baseID + 1, Prev: chain.baseID + 1, Seq: 1}
+	if _, err := snapshot.LoadDelta(bytes.NewReader(delta), wrongBase, fresh); err == nil ||
+		!strings.Contains(err.Error(), "orphaned delta") {
+		t.Fatalf("orphaned delta not rejected: %v", err)
+	}
+	wrongSeq := snapshot.ChainLink{Base: chain.baseID, Prev: chain.baseID, Seq: 2}
+	if _, err := snapshot.LoadDelta(bytes.NewReader(delta), wrongSeq, fresh); err == nil ||
+		!strings.Contains(err.Error(), "out-of-order delta") {
+		t.Fatalf("out-of-order delta not rejected: %v", err)
+	}
+	// A full container where a delta is expected is caught by the magic word.
+	if _, err := snapshot.LoadDelta(bytes.NewReader(chain.base.Bytes()), wrongSeq, fresh); err == nil ||
+		!strings.Contains(err.Error(), "full snapshot container") {
+		t.Fatalf("full container not rejected as delta: %v", err)
+	}
+	// The rejections above touched no state: the correct delta still applies.
+	want := snapshot.ChainLink{Base: chain.baseID, Prev: chain.baseID, Seq: 1}
+	if _, err := snapshot.LoadDelta(bytes.NewReader(delta), want, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dc.SnapshotComponents(), fresh.SnapshotComponents()) {
+		t.Fatal("chain restore after rejected attempts diverged")
+	}
+}
+
+// bigInstance builds the acceptance-scale instance: 1<<16 vertices with 2
+// sketch copies (the default t = 2 log n + 8 would put the arenas at ~2 GB;
+// two copies keep the full image ~100 MB while preserving the cost shape),
+// warmed with insert-only churn so the replacement search never needs the
+// full copy stack.
+func bigInstance(tb testing.TB) (*core.DynamicConnectivity, *workload.Churn) {
+	tb.Helper()
+	const n = 1 << 16
+	dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: 0.6, SketchCopies: 2, Seed: 21})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	churn := workload.NewChurn(workload.Config{N: n, Seed: 21})
+	for i := 0; i < 4; i++ {
+		if err := dc.ApplyBatch(churn.NextInsertOnly(64)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return dc, churn
+}
+
+// TestDeltaCheckpointCheaper is the acceptance bound: on a 1<<16-vertex
+// graph, a delta checkpoint after one 64-update batch must be at least 5×
+// cheaper than a full checkpoint in both bytes and wall time (it is ~500×
+// in bytes: the delta ships only the touched arena regions), and the chain
+// restore must reproduce the full state.
+func TestDeltaCheckpointCheaper(t *testing.T) {
+	dc, churn := bigInstance(t)
+	var chain deltaChain
+	chain.saveBase(t, dc)
+	if err := dc.ApplyBatch(churn.NextInsertOnly(64)); err != nil {
+		t.Fatal(err)
+	}
+
+	time1 := func(fn func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var fullBuf bytes.Buffer
+	fullNs := time1(func() {
+		fullBuf.Reset()
+		if err := snapshot.Save(&fullBuf, dc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var deltaBuf bytes.Buffer
+	link := snapshot.ChainLink{Base: chain.baseID, Prev: chain.tipID, Seq: 1}
+	deltaNs := time1(func() {
+		deltaBuf.Reset()
+		if _, err := snapshot.SaveDelta(&deltaBuf, link, dc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("full: %d bytes in %v; delta: %d bytes in %v (ratios %.1f× bytes, %.1f× ns)",
+		fullBuf.Len(), fullNs, deltaBuf.Len(), deltaNs,
+		float64(fullBuf.Len())/float64(deltaBuf.Len()), float64(fullNs)/float64(deltaNs))
+	if deltaBuf.Len()*5 > fullBuf.Len() {
+		t.Fatalf("delta is %d bytes, full %d: less than 5× cheaper", deltaBuf.Len(), fullBuf.Len())
+	}
+	if deltaNs*5 > fullNs {
+		t.Fatalf("delta took %v, full %v: less than 5× cheaper", deltaNs, fullNs)
+	}
+
+	// The cheap delta still carries everything: base + delta equals the live
+	// state.
+	chain.deltas = append(chain.deltas, &deltaBuf)
+	dc.AckCheckpoint()
+	fresh, err := core.NewDynamicConnectivity(core.Config{N: 1 << 16, Phi: 0.6, SketchCopies: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.restore(t, fresh)
+	if !reflect.DeepEqual(dc.Cluster().Stats(), fresh.Cluster().Stats()) {
+		t.Fatal("chain-restored Stats differ at acceptance scale")
+	}
+	if !reflect.DeepEqual(dc.SnapshotComponents(), fresh.SnapshotComponents()) {
+		t.Fatal("chain-restored components differ at acceptance scale")
+	}
+	if !reflect.DeepEqual(dc.SnapshotForest(), fresh.SnapshotForest()) {
+		t.Fatal("chain-restored forest differs at acceptance scale")
+	}
+}
+
+// BenchmarkCheckpointFull64K is the full-checkpoint comparator for the
+// delta benchmarks below: same instance, same preceding 64-update batch,
+// full container (cost scales with graph size).
+func BenchmarkCheckpointFull64K(b *testing.B) {
+	dc, churn := bigInstance(b)
+	if err := dc.ApplyBatch(churn.NextInsertOnly(64)); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snapshot.Save(&buf, dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkCheckpointDelta measures a delta checkpoint of the 1<<16-vertex
+// instance after a 64-update batch (cost scales with churn, not graph
+// size). The checkpoint is not acknowledged, so every iteration encodes the
+// same dirty set.
+func BenchmarkCheckpointDelta(b *testing.B) {
+	dc, churn := bigInstance(b)
+	var base bytes.Buffer
+	baseID, err := snapshot.SaveBase(&base, dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc.AckCheckpoint()
+	if err := dc.ApplyBatch(churn.NextInsertOnly(64)); err != nil {
+		b.Fatal(err)
+	}
+	link := snapshot.ChainLink{Base: baseID, Prev: baseID, Seq: 1}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := snapshot.SaveDelta(&buf, link, dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkRestoreChain measures applying a 4-delta chain on top of an
+// already-restored base (the incremental part of a chain restore; deltas
+// are idempotent, so reapplying the chain each iteration is well-defined).
+func BenchmarkRestoreChain(b *testing.B) {
+	dc, churn := bigInstance(b)
+	var chain deltaChain
+	chain.saveBase(b, dc)
+	for k := 0; k < 4; k++ {
+		if err := dc.ApplyBatch(churn.NextInsertOnly(64)); err != nil {
+			b.Fatal(err)
+		}
+		chain.saveDelta(b, dc)
+	}
+	target, err := core.NewDynamicConnectivity(core.Config{N: 1 << 16, Phi: 0.6, SketchCopies: 2, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := snapshot.LoadBase(bytes.NewReader(chain.base.Bytes()), target); err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, d := range chain.deltas {
+		total += int64(d.Len())
+	}
+	b.ReportAllocs()
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := chain.baseID
+		for j, d := range chain.deltas {
+			want := snapshot.ChainLink{Base: chain.baseID, Prev: prev, Seq: uint64(j + 1)}
+			next, err := snapshot.LoadDelta(bytes.NewReader(d.Bytes()), want, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = next
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,17 @@ type vertexShard struct {
 	// the owning DynamicConnectivity (0 for a bare Forest); it is included
 	// here so the shard's Words reflect the whole vertex bundle.
 	sketchWords int
+
+	// Delta-checkpoint journals. compDirty is a bitmap over comp (indices
+	// relative to lo) of entries changed since the last acknowledged
+	// checkpoint; fragDirty marks that the transient frag map changed at all
+	// (it is small and rebuilt wholesale by Cut, so the delta re-ships it
+	// whole rather than diffing). Journals are checkpoint bookkeeping, not
+	// machine state: they are excluded from Words so memory metering and
+	// golden Stats are unchanged by delta tracking.
+	compDirty      []uint64
+	compDirtyCount int
+	fragDirty      bool
 }
 
 // Words implements mpc.Sized.
@@ -42,7 +54,44 @@ func (s *vertexShard) owns(v int) bool { return v >= s.lo && v < s.hi }
 
 func (s *vertexShard) compOf(v int) int { return s.comp[v-s.lo] }
 
-func (s *vertexShard) setComp(v, c int) { s.comp[v-s.lo] = c }
+func (s *vertexShard) setComp(v, c int) {
+	i := v - s.lo
+	if s.comp[i] != c {
+		s.comp[i] = c
+		s.markComp(i)
+	}
+}
+
+// markComp journals a change to comp[i] (shard-relative index).
+func (s *vertexShard) markComp(i int) {
+	w, b := i/64, uint64(1)<<(i%64)
+	if s.compDirty[w]&b == 0 {
+		s.compDirty[w] |= b
+		s.compDirtyCount++
+	}
+}
+
+// forEachDirtyComp visits the journaled comp entries in ascending index
+// order without resetting the journal.
+func (s *vertexShard) forEachDirtyComp(fn func(i, c int)) {
+	for w, b := range s.compDirty {
+		for b != 0 {
+			i := w*64 + bits.TrailingZeros64(b)
+			fn(i, s.comp[i])
+			b &= b - 1
+		}
+	}
+}
+
+// resetJournal clears the shard's delta journals: the current state is the
+// new checkpointed baseline.
+func (s *vertexShard) resetJournal() {
+	if s.compDirtyCount > 0 {
+		clear(s.compDirty)
+		s.compDirtyCount = 0
+	}
+	s.fragDirty = false
+}
 
 // treeEdge is one tree-edge record plus its weight (weights are carried only
 // by weighted forests; zero otherwise).
@@ -54,10 +103,32 @@ type treeEdge struct {
 // edgeShard holds the tree-edge records hash-assigned to one machine.
 type edgeShard struct {
 	recs map[graph.Edge]*treeEdge
+	// dirty journals edges whose record changed (upsert or delete) since the
+	// last acknowledged checkpoint; the delta ships each as an upsert or a
+	// tombstone. Checkpoint bookkeeping, excluded from Words (see
+	// vertexShard). In a process that never checkpoints the journal grows
+	// with churn until a Restore or AckCheckpoint clears it — the
+	// checkpointing deployments this exists for ack regularly.
+	dirty map[graph.Edge]bool
 }
 
 // Words implements mpc.Sized.
 func (s *edgeShard) Words() int { return 8*len(s.recs) + 1 }
+
+// markEdge journals a change to edge e's record.
+func (s *edgeShard) markEdge(e graph.Edge) {
+	if s.dirty == nil {
+		s.dirty = map[graph.Edge]bool{}
+	}
+	s.dirty[e] = true
+}
+
+// resetJournal clears the edge journal.
+func (s *edgeShard) resetJournal() {
+	if len(s.dirty) > 0 {
+		clear(s.dirty)
+	}
+}
 
 // fragment keys combine tours and singleton vertices in one key space.
 const fragVertexBit = uint64(1) << 62
@@ -206,7 +277,12 @@ func newForest(cfg Config, weighted bool, sketchWords int) (*Forest, error) {
 	cl.LocalAll(func(mm *mpc.Machine) {
 		if mm.ID != f.coord {
 			lo, hi := f.part.Range(mm.ID)
-			vs := &vertexShard{lo: lo, hi: hi, comp: make([]int, hi-lo), frag: map[int]uint64{}}
+			vs := &vertexShard{
+				lo: lo, hi: hi,
+				comp:      make([]int, hi-lo),
+				frag:      map[int]uint64{},
+				compDirty: make([]uint64, (hi-lo+63)/64),
+			}
 			for v := lo; v < hi; v++ {
 				vs.comp[v-lo] = v
 			}
@@ -714,6 +790,7 @@ func (f *Forest) Link(edges []graph.WeightedEdge) error {
 			for _, te := range msg.Payload.(recordsPayload).records {
 				cp := te
 				es.recs[te.rec.E] = &cp
+				es.markEdge(te.rec.E)
 			}
 		},
 	)
@@ -779,16 +856,22 @@ func (f *Forest) applyRelabels(relabels []eulertour.Relabel, compMap map[int]int
 		for e, te := range es.recs {
 			if drop[e] {
 				delete(es.recs, e)
+				es.markEdge(e)
 				continue
 			}
+			old := te.rec
 			if err := set.ApplyToRecord(&te.rec); err != nil {
 				panic(fmt.Sprintf("core: %v", err))
+			}
+			if te.rec != old {
+				es.markEdge(e)
 			}
 		}
 		if vs := vShard(mm); vs != nil && len(p.compMap) > 0 {
 			for i, c := range vs.comp {
-				if nc, ok := p.compMap[c]; ok {
+				if nc, ok := p.compMap[c]; ok && nc != c {
 					vs.comp[i] = nc
+					vs.markComp(i)
 				}
 			}
 		}
@@ -800,6 +883,7 @@ func (f *Forest) clearFrags() {
 	f.cl.LocalAll(func(mm *mpc.Machine) {
 		if vs := vShard(mm); vs != nil && len(vs.frag) > 0 {
 			vs.frag = map[int]uint64{}
+			vs.fragDirty = true
 		}
 	})
 }
@@ -1033,6 +1117,7 @@ func (f *Forest) pushFragments(newTours map[eulertour.TourID]bool, affectedComps
 			b := msg.Payload.(*mpc.MessageBatch)
 			for pr := range b.Frames {
 				vs.frag[int(pr[0])] = pr[1]
+				vs.fragDirty = true
 			}
 			b.Release()
 		}
@@ -1042,6 +1127,7 @@ func (f *Forest) pushFragments(newTours map[eulertour.TourID]bool, affectedComps
 			if affectedComps[vs.comp[i]] {
 				if _, ok := vs.frag[v]; !ok {
 					vs.frag[v] = fragKeyOfVertex(v)
+					vs.fragDirty = true
 				}
 			}
 		}

@@ -55,10 +55,16 @@ func TestConcurrentQueryReaders(t *testing.T) {
 				vertices[v] = v
 			}
 			for i := 0; ; i++ {
-				select {
-				case <-done:
-					return
-				default:
+				// Check done after the first pass, not before it: every reader
+				// always runs at least one full iteration, so the final
+				// hits/misses assertion holds even on a single-proc host where
+				// the writer can finish before any reader is first scheduled.
+				if i > 0 {
+					select {
+					case <-done:
+						return
+					default:
+					}
 				}
 				mu.RLock()
 				pairs := toPairs(mix.NextQueriesFrom(uint64(r*1000+i), 16))

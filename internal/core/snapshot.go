@@ -26,15 +26,17 @@ import (
 
 // Section tags of the core layer.
 const (
-	tagForest      = 0x10
-	tagForestShard = 0x11
-	tagSketchShard = 0x12
+	tagForest           = 0x10
+	tagForestShard      = 0x11
+	tagSketchShard      = 0x12
+	tagForestDelta      = 0x13
+	tagForestShardDelta = 0x14
+	tagSketchShardDelta = 0x15
 )
 
-// Checkpoint serializes the forest: configuration echo, tour-id counter,
-// label cache, cluster stats, and one section per machine shard.
-func (f *Forest) Checkpoint(e *snapshot.Encoder) {
-	e.Begin(tagForest)
+// checkpointConfig writes the configuration echo shared by full and delta
+// sections: the state-shaping parameters a restoring instance must match.
+func (f *Forest) checkpointConfig(e *snapshot.Encoder) {
 	e.Int(f.cfg.N)
 	e.F64(f.cfg.Phi)
 	e.Int(f.cfg.SketchCopies)
@@ -42,6 +44,46 @@ func (f *Forest) Checkpoint(e *snapshot.Encoder) {
 	e.Int(f.cfg.VerticesPerMachine)
 	e.Bool(f.weighted)
 	e.Int(f.cl.Machines())
+}
+
+// restoreConfig reads and validates the configuration echo.
+func (f *Forest) restoreConfig(d *snapshot.Decoder) error {
+	n := d.Int()
+	phi := d.F64()
+	copies := d.Int()
+	seed := d.U64()
+	vpm := d.Int()
+	weighted := d.Bool()
+	mach := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch {
+	case n != f.cfg.N:
+		return fmt.Errorf("core: snapshot of N=%d restored into N=%d", n, f.cfg.N)
+	case phi != f.cfg.Phi:
+		return fmt.Errorf("core: snapshot of Phi=%v restored into Phi=%v", phi, f.cfg.Phi)
+	case copies != f.cfg.SketchCopies:
+		return fmt.Errorf("core: snapshot of SketchCopies=%d restored into SketchCopies=%d", copies, f.cfg.SketchCopies)
+	case seed != f.cfg.Seed:
+		return fmt.Errorf("core: snapshot of Seed=%d restored into Seed=%d", seed, f.cfg.Seed)
+	case vpm != f.cfg.VerticesPerMachine:
+		return fmt.Errorf("core: snapshot of VerticesPerMachine=%d restored into VerticesPerMachine=%d", vpm, f.cfg.VerticesPerMachine)
+	case weighted != f.weighted:
+		return fmt.Errorf("core: snapshot weighted=%v restored into weighted=%v", weighted, f.weighted)
+	case mach != f.cl.Machines():
+		return fmt.Errorf("core: snapshot of %d machines restored into %d", mach, f.cl.Machines())
+	}
+	return nil
+}
+
+// Checkpoint serializes the forest: configuration echo, tour-id counter,
+// label cache, cluster stats, and one section per machine shard. It does
+// not reset the delta journals — call AckCheckpoint once the container is
+// durably written.
+func (f *Forest) Checkpoint(e *snapshot.Encoder) {
+	e.Begin(tagForest)
+	f.checkpointConfig(e)
 	e.U64(f.nextID)
 	lc := &f.cache
 	e.U64(uint64(lc.epoch))
@@ -109,31 +151,8 @@ func (f *Forest) checkpointShard(e *snapshot.Encoder, i int) {
 // and may differ between the checkpointing and the restoring process).
 func (f *Forest) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagForest)
-	n := d.Int()
-	phi := d.F64()
-	copies := d.Int()
-	seed := d.U64()
-	vpm := d.Int()
-	weighted := d.Bool()
-	mach := d.Int()
-	if err := d.Err(); err != nil {
+	if err := f.restoreConfig(d); err != nil {
 		return err
-	}
-	switch {
-	case n != f.cfg.N:
-		return fmt.Errorf("core: snapshot of N=%d restored into N=%d", n, f.cfg.N)
-	case phi != f.cfg.Phi:
-		return fmt.Errorf("core: snapshot of Phi=%v restored into Phi=%v", phi, f.cfg.Phi)
-	case copies != f.cfg.SketchCopies:
-		return fmt.Errorf("core: snapshot of SketchCopies=%d restored into SketchCopies=%d", copies, f.cfg.SketchCopies)
-	case seed != f.cfg.Seed:
-		return fmt.Errorf("core: snapshot of Seed=%d restored into Seed=%d", seed, f.cfg.Seed)
-	case vpm != f.cfg.VerticesPerMachine:
-		return fmt.Errorf("core: snapshot of VerticesPerMachine=%d restored into VerticesPerMachine=%d", vpm, f.cfg.VerticesPerMachine)
-	case weighted != f.weighted:
-		return fmt.Errorf("core: snapshot weighted=%v restored into weighted=%v", weighted, f.weighted)
-	case mach != f.cl.Machines():
-		return fmt.Errorf("core: snapshot of %d machines restored into %d", mach, f.cl.Machines())
 	}
 	f.nextID = d.U64()
 	lc := &f.cache
@@ -229,7 +248,248 @@ func (f *Forest) restoreShard(d *snapshot.Decoder, i int) error {
 		}
 		es.recs[te.rec.E] = te
 	}
+	if d.Err() == nil {
+		// The restored state is the new delta baseline.
+		if vs != nil {
+			vs.resetJournal()
+		}
+		es.resetJournal()
+	}
 	return d.Err()
+}
+
+// CheckpointDelta serializes only what changed since the last acknowledged
+// checkpoint: the coordinator driver state wholesale (tour counter, the
+// current epoch's label-cache entries, cluster stats — all small and
+// epoch-scoped, so diffing buys nothing) plus per-shard journals (changed
+// component entries, the fragment map when touched, changed or deleted tree
+// edges). Like Checkpoint it does not reset the journals; AckCheckpoint
+// does, once the container is durable.
+func (f *Forest) CheckpointDelta(e *snapshot.Encoder) {
+	e.Begin(tagForestDelta)
+	f.checkpointConfig(e)
+	e.U64(f.nextID)
+	lc := &f.cache
+	e.U64(uint64(lc.epoch))
+	e.Int(lc.numComps)
+	e.Bool(lc.numCompsOK)
+	e.Int(lc.valid)
+	for v, s := range lc.stamp {
+		if s == lc.epoch {
+			e.Int(v)
+			e.Int(lc.labels[v])
+		}
+	}
+	snapshot.EncodeClusterStats(e, f.cl.Stats())
+	for i := 0; i < f.cl.Machines(); i++ {
+		f.checkpointShardDelta(e, i)
+	}
+}
+
+// checkpointShardDelta writes machine i's journaled changes, in sorted
+// order so a delta is a deterministic function of the logical change set.
+func (f *Forest) checkpointShardDelta(e *snapshot.Encoder, i int) {
+	mm := f.cl.Machine(i)
+	e.Begin(tagForestShardDelta)
+	e.Int(i)
+	vs := vShard(mm)
+	e.Bool(vs != nil)
+	if vs != nil {
+		e.Int(vs.compDirtyCount)
+		vs.forEachDirtyComp(func(idx, c int) {
+			e.Int(idx)
+			e.Int(c)
+		})
+		e.Bool(vs.fragDirty)
+		if vs.fragDirty {
+			// The fragment map is transient and rebuilt wholesale by Cut;
+			// ship it whole (it is empty or tiny between batches).
+			verts := make([]int, 0, len(vs.frag))
+			for v := range vs.frag {
+				verts = append(verts, v)
+			}
+			sort.Ints(verts)
+			e.Int(len(verts))
+			for _, v := range verts {
+				e.Int(v)
+				e.U64(vs.frag[v])
+			}
+		}
+	}
+	es := eShard(mm)
+	edges := make([]graph.Edge, 0, len(es.dirty))
+	for ed := range es.dirty {
+		edges = append(edges, ed)
+	}
+	n := f.cfg.N
+	sort.Slice(edges, func(a, b int) bool { return edges[a].ID(n) < edges[b].ID(n) })
+	e.Int(len(edges))
+	for _, ed := range edges {
+		te, present := es.recs[ed]
+		e.Int(ed.U)
+		e.Int(ed.V)
+		e.Bool(present)
+		if present {
+			e.U64(uint64(te.rec.Tour))
+			e.Int(te.rec.UPos[0])
+			e.Int(te.rec.UPos[1])
+			e.Int(te.rec.VPos[0])
+			e.Int(te.rec.VPos[1])
+			e.I64(te.weight)
+		}
+	}
+}
+
+// RestoreDelta applies a delta written by CheckpointDelta on top of already
+// restored state (the base snapshot plus any earlier deltas of the chain).
+// Upserts and tombstones are idempotent, so replaying a delta that overlaps
+// an already-applied one (a retried checkpoint after a failed write) is
+// harmless. Label-cache entries are restored by clearing every stamp and
+// re-stamping the delta's current-epoch entries — observationally identical
+// to the full restore's stamp image, because stale stamps behave exactly
+// like cleared ones (the epoch is never 0).
+func (f *Forest) RestoreDelta(d *snapshot.Decoder) error {
+	d.Begin(tagForestDelta)
+	if err := f.restoreConfig(d); err != nil {
+		return err
+	}
+	f.nextID = d.U64()
+	lc := &f.cache
+	lc.epoch = uint32(d.U64())
+	lc.numComps = d.Int()
+	lc.numCompsOK = d.Bool()
+	nv := d.Count(2)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	clear(lc.stamp)
+	for j := 0; j < nv && d.Err() == nil; j++ {
+		v := d.Int()
+		label := d.Int()
+		if d.Err() != nil {
+			break
+		}
+		if v < 0 || v >= f.cfg.N {
+			return fmt.Errorf("core: delta label-cache entry for vertex %d out of range [0,%d)", v, f.cfg.N)
+		}
+		lc.labels[v] = label
+		lc.stamp[v] = lc.epoch
+	}
+	lc.valid = nv
+	st := snapshot.DecodeClusterStats(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.cl.RestoreStats(st)
+	for i := 0; i < f.cl.Machines(); i++ {
+		if err := f.restoreShardDelta(d, i); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// restoreShardDelta applies machine i's journaled changes.
+func (f *Forest) restoreShardDelta(d *snapshot.Decoder, i int) error {
+	mm := f.cl.Machine(i)
+	d.Begin(tagForestShardDelta)
+	id := d.Int()
+	hasV := d.Bool()
+	vs := vShard(mm)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if id != i {
+		return fmt.Errorf("core: delta shard section for machine %d where %d was expected", id, i)
+	}
+	if hasV != (vs != nil) {
+		return fmt.Errorf("core: delta/instance disagree on machine %d holding a vertex shard", i)
+	}
+	if vs != nil {
+		nc := d.Count(2)
+		for j := 0; j < nc && d.Err() == nil; j++ {
+			idx := d.Int()
+			c := d.Int()
+			if d.Err() != nil {
+				break
+			}
+			if idx < 0 || idx >= vs.hi-vs.lo {
+				return fmt.Errorf("core: delta shard %d component index %d out of range [0,%d)", i, idx, vs.hi-vs.lo)
+			}
+			vs.comp[idx] = c
+		}
+		if d.Bool() {
+			nf := d.Count(2)
+			frag := make(map[int]uint64, nf)
+			for j := 0; j < nf && d.Err() == nil; j++ {
+				v := d.Int()
+				k := d.U64()
+				if d.Err() != nil {
+					break
+				}
+				if v < vs.lo || v >= vs.hi {
+					return fmt.Errorf("core: delta shard %d holds fragment entry for foreign vertex %d", i, v)
+				}
+				frag[v] = k
+			}
+			if d.Err() == nil {
+				vs.frag = frag
+			}
+		}
+	}
+	es := eShard(mm)
+	ne := d.Count(3)
+	for j := 0; j < ne && d.Err() == nil; j++ {
+		u, v := d.Int(), d.Int()
+		present := d.Bool()
+		if d.Err() != nil {
+			break
+		}
+		if u < 0 || v < 0 || u >= v || v >= f.cfg.N {
+			return fmt.Errorf("core: delta shard %d holds invalid tree edge {%d,%d}", i, u, v)
+		}
+		ed := graph.Edge{U: u, V: v}
+		if !present {
+			delete(es.recs, ed)
+			continue
+		}
+		tour := eulertour.TourID(d.U64())
+		u0, u1 := d.Int(), d.Int()
+		v0, v1 := d.Int(), d.Int()
+		w := d.I64()
+		if d.Err() != nil {
+			break
+		}
+		es.recs[ed] = &treeEdge{
+			rec: eulertour.Record{
+				E:    ed,
+				Tour: tour,
+				UPos: [2]eulertour.Pos{u0, u1},
+				VPos: [2]eulertour.Pos{v0, v1},
+			},
+			weight: w,
+		}
+	}
+	if d.Err() == nil {
+		if vs != nil {
+			vs.resetJournal()
+		}
+		es.resetJournal()
+	}
+	return d.Err()
+}
+
+// AckCheckpoint marks the current forest state as durably captured: the
+// per-shard delta journals reset, so the next CheckpointDelta emits only
+// changes made after this call.
+func (f *Forest) AckCheckpoint() {
+	for i := 0; i < f.cl.Machines(); i++ {
+		mm := f.cl.Machine(i)
+		if vs := vShard(mm); vs != nil {
+			vs.resetJournal()
+		}
+		eShard(mm).resetJournal()
+	}
 }
 
 // Checkpoint serializes the full dynamic-connectivity state: the forest
@@ -281,4 +541,80 @@ func (dc *DynamicConnectivity) Restore(d *snapshot.Decoder) error {
 		}
 	}
 	return d.Err()
+}
+
+// CheckpointDelta serializes the forest delta plus only the sketch-arena
+// regions dirtied since the last acknowledged checkpoint — the piece that
+// makes delta checkpoints scale with churn instead of graph size, since the
+// arenas dominate the full image. Call AckCheckpoint once durable.
+func (dc *DynamicConnectivity) CheckpointDelta(e *snapshot.Encoder) {
+	dc.f.CheckpointDelta(e)
+	for i := 0; i < dc.f.cl.Machines(); i++ {
+		mm := dc.f.cl.Machine(i)
+		sh, ok := mm.Get(slotSketch).(*sketchShard)
+		e.Begin(tagSketchShardDelta)
+		e.Int(i)
+		e.Bool(ok)
+		if ok {
+			e.Int(sh.arena.DirtyCount())
+			sh.arena.ForEachDirtyRegion(func(r int, words []uint64) {
+				e.Int(r)
+				e.U64s(words)
+			})
+		}
+	}
+}
+
+// RestoreDelta applies a delta written by CheckpointDelta: the forest delta,
+// then each shipped arena region (idempotent region overwrites, like the
+// forest's upserts).
+func (dc *DynamicConnectivity) RestoreDelta(d *snapshot.Decoder) error {
+	if err := dc.f.RestoreDelta(d); err != nil {
+		return err
+	}
+	for i := 0; i < dc.f.cl.Machines(); i++ {
+		mm := dc.f.cl.Machine(i)
+		sh, ok := mm.Get(slotSketch).(*sketchShard)
+		d.Begin(tagSketchShardDelta)
+		id := d.Int()
+		hasS := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id != i {
+			return fmt.Errorf("core: delta sketch section for machine %d where %d was expected", id, i)
+		}
+		if hasS != ok {
+			return fmt.Errorf("core: delta/instance disagree on machine %d holding sketches", i)
+		}
+		if !ok {
+			continue
+		}
+		nr := d.Count(2)
+		for j := 0; j < nr && d.Err() == nil; j++ {
+			r := d.Int()
+			words := d.U64s()
+			if d.Err() != nil {
+				break
+			}
+			if err := sh.arena.ApplyRegion(r, words); err != nil {
+				return err
+			}
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// AckCheckpoint resets the forest journals and every arena's dirty bitmap:
+// the current state is the new delta baseline.
+func (dc *DynamicConnectivity) AckCheckpoint() {
+	dc.f.AckCheckpoint()
+	for i := 0; i < dc.f.cl.Machines(); i++ {
+		if sh, ok := dc.f.cl.Machine(i).Get(slotSketch).(*sketchShard); ok {
+			sh.arena.ResetDirty()
+		}
+	}
 }

@@ -66,6 +66,12 @@ func (c connectivityInstance) Rounds() int                       { return c.dc.C
 func (c connectivityInstance) Checkpoint(e *snapshot.Encoder)    { c.dc.Checkpoint(e) }
 func (c connectivityInstance) Restore(d *snapshot.Decoder) error { return c.dc.Restore(d) }
 
+// connectivity additionally supports delta checkpoints (snapshot.DeltaState),
+// so harness chains alternate full and delta containers for it.
+func (c connectivityInstance) CheckpointDelta(e *snapshot.Encoder)    { c.dc.CheckpointDelta(e) }
+func (c connectivityInstance) RestoreDelta(d *snapshot.Decoder) error { return c.dc.RestoreDelta(d) }
+func (c connectivityInstance) AckCheckpoint()                         { c.dc.AckCheckpoint() }
+
 type bipartiteInstance struct{ t *bipartite.Tester }
 
 func (b bipartiteInstance) MaxBatch() int                     { return b.t.MaxBatch() }

@@ -154,6 +154,7 @@ func TestCrashScenarioEveryScenario(t *testing.T) {
 				t.Fatalf("crash schedule fired 0 times: %s", crash)
 			}
 			crash.Crashes = 0
+			crash.FullCheckpoints, crash.DeltaCheckpoints = 0, 0
 			if !reflect.DeepEqual(base, crash) {
 				t.Errorf("crash-injected run differs from uninterrupted:\n  base:  %+v\n  crash: %+v", base, crash)
 			}
@@ -182,8 +183,47 @@ func TestCrashReportEqualsUninterrupted(t *testing.T) {
 			t.Fatalf("%s: crash schedule fired 0 times", algo)
 		}
 		crash.Crashes = 0
+		crash.FullCheckpoints, crash.DeltaCheckpoints = 0, 0
 		if !reflect.DeepEqual(base, crash) {
 			t.Errorf("%s: crash-injected report differs:\n  base:  %+v\n  crash: %+v", algo, base, crash)
+		}
+	}
+}
+
+// TestCrashDeltaChainEqualsUninterrupted is the delta-mode twin: periodic
+// delta checkpoints (CheckpointEvery) between seeded kill/restore cycles
+// mean every crash restores from a base plus a multi-delta chain, and the
+// run must still be report-identical to the uninterrupted twin. The tight
+// MaxDeltaChain forces compaction mid-run, and the checkpoint-kind counters
+// confirm both kinds were actually exercised.
+func TestCrashDeltaChainEqualsUninterrupted(t *testing.T) {
+	for _, scenario := range []string{"powerlaw", "window"} {
+		for _, par := range []int{1, 8} {
+			opt := Options{N: 64, Batches: 24, Seed: 31, Parallelism: par}
+			base, err := Run("connectivity", scenario, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.CrashEvery = 6
+			opt.CheckpointEvery = 2
+			opt.MaxDeltaChain = 4
+			crash, err := Run("connectivity", scenario, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crash.Crashes == 0 {
+				t.Fatalf("%s par %d: crash schedule fired 0 times", scenario, par)
+			}
+			if crash.FullCheckpoints == 0 || crash.DeltaCheckpoints == 0 {
+				t.Fatalf("%s par %d: expected both checkpoint kinds, got full=%d delta=%d",
+					scenario, par, crash.FullCheckpoints, crash.DeltaCheckpoints)
+			}
+			crash.Crashes = 0
+			crash.FullCheckpoints, crash.DeltaCheckpoints = 0, 0
+			if !reflect.DeepEqual(base, crash) {
+				t.Errorf("%s par %d: delta-chain run differs from uninterrupted:\n  base:  %+v\n  crash: %+v",
+					scenario, par, base, crash)
+			}
 		}
 	}
 }

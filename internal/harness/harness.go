@@ -61,9 +61,21 @@ type Options struct {
 	// as a crash/recovery scenario. Requires the algorithm to implement
 	// Checkpointable. Results, oracle checks, and (for deterministic
 	// algorithms) Stats are identical to an uninterrupted run.
+	//
+	// Checkpoints ride an in-memory chain: the first is a full base, later
+	// ones are deltas when the algorithm implements snapshot.DeltaState
+	// (full otherwise), and the chain compacts back to a full base once it
+	// holds MaxDeltaChain deltas. A crash restores from the whole chain.
 	CrashEvery int
 	// CrashSeed seeds the crash schedule (default Seed+3).
 	CrashSeed uint64
+	// CheckpointEvery > 0 additionally checkpoints after every k-th batch
+	// without restoring — the periodic-durability cadence. It extends the
+	// same chain the crash path restores from, so a run with both options
+	// exercises multi-delta chain restores.
+	CheckpointEvery int
+	// MaxDeltaChain bounds the delta chain before compaction (default 8).
+	MaxDeltaChain int
 }
 
 // withDefaults fills unset fields.
@@ -91,6 +103,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CrashSeed == 0 {
 		o.CrashSeed = o.Seed + 3
+	}
+	if o.MaxDeltaChain == 0 {
+		o.MaxDeltaChain = 8
 	}
 	return o
 }
@@ -200,6 +215,9 @@ type Report struct {
 	Rounds int
 	// Crashes counts the injected kill/restore cycles (Options.CrashEvery).
 	Crashes int
+	// FullCheckpoints and DeltaCheckpoints count the checkpoint containers
+	// written by kind (crash-instant and CheckpointEvery combined).
+	FullCheckpoints, DeltaCheckpoints int
 }
 
 // String renders the report in one line.
@@ -243,10 +261,14 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 		return nil, err
 	}
 	var crash *workload.CrashSchedule
-	if opt.CrashEvery > 0 {
+	var chain *memChain
+	if opt.CrashEvery > 0 || opt.CheckpointEvery > 0 {
 		if _, ok := inst.(Checkpointable); !ok {
-			return nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery)", algo.Name)
+			return nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery/CheckpointEvery)", algo.Name)
 		}
+		chain = &memChain{maxDeltas: opt.MaxDeltaChain}
+	}
+	if opt.CrashEvery > 0 {
 		crash = workload.NewCrashSchedule(opt.CrashSeed, opt.CrashEvery)
 	}
 	gen := sc.New(opt.N, opt.Seed+1)
@@ -271,8 +293,13 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 			}
 			rep.Checks++
 		}
+		if opt.CheckpointEvery > 0 && (i+1)%opt.CheckpointEvery == 0 {
+			if err := chain.checkpoint(inst, rep); err != nil {
+				return nil, fmt.Errorf("harness: %s over %s: checkpoint at batch %d: %w", algo.Name, sc.Name, i, err)
+			}
+		}
 		if crash != nil && crash.Crash() {
-			inst, err = killRestore(algo, opt, inst)
+			inst, err = killRestore(algo, opt, inst, chain, rep)
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, sc.Name, i, err)
 			}
@@ -296,21 +323,83 @@ func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, er
 	return rep, nil
 }
 
-// killRestore simulates a process crash: the live instance is checkpointed
-// into a snapshot, dropped, and a fresh instance built from the same
-// options is restored from it. The generator (the outside world) survives;
-// only the cluster state dies.
-func killRestore(algo Algorithm, opt Options, inst Instance) (Instance, error) {
+// memChain is the harness's in-memory checkpoint chain: a full base
+// container plus delta containers, the exact composition snapshot.Chain
+// keeps on disk. Restores replay base + every delta, so crash recovery
+// exercises multi-link chain restores, not just the latest snapshot.
+type memChain struct {
+	maxDeltas int
+	base      bytes.Buffer
+	baseID    uint64
+	tipID     uint64
+	deltas    []*bytes.Buffer
+}
+
+// checkpoint appends the next link: a delta when the instance supports it,
+// a base exists, and the chain is under maxDeltas; a fresh full base
+// otherwise (compaction folds the chain). Acknowledges on success so the
+// next delta covers only subsequent changes.
+func (c *memChain) checkpoint(inst Instance, rep *Report) error {
+	ds, deltaCapable := inst.(snapshot.DeltaState)
+	if !deltaCapable || c.base.Len() == 0 || len(c.deltas) >= c.maxDeltas {
+		c.base.Reset()
+		c.deltas = nil
+		id, err := snapshot.SaveBase(&c.base, inst.(Checkpointable))
+		if err != nil {
+			return fmt.Errorf("checkpoint (full): %w", err)
+		}
+		c.baseID, c.tipID = id, id
+		if deltaCapable {
+			ds.AckCheckpoint()
+		}
+		rep.FullCheckpoints++
+		return nil
+	}
 	var buf bytes.Buffer
-	if err := snapshot.Save(&buf, inst.(Checkpointable)); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+	link := snapshot.ChainLink{Base: c.baseID, Prev: c.tipID, Seq: uint64(len(c.deltas) + 1)}
+	id, err := snapshot.SaveDelta(&buf, link, ds)
+	if err != nil {
+		return fmt.Errorf("checkpoint (delta): %w", err)
+	}
+	c.deltas = append(c.deltas, &buf)
+	c.tipID = id
+	ds.AckCheckpoint()
+	rep.DeltaCheckpoints++
+	return nil
+}
+
+// restore loads base + chain into inst.
+func (c *memChain) restore(inst Instance) error {
+	if _, err := snapshot.LoadBase(bytes.NewReader(c.base.Bytes()), inst.(Checkpointable)); err != nil {
+		return fmt.Errorf("restore (base): %w", err)
+	}
+	prev := c.baseID
+	for i, d := range c.deltas {
+		want := snapshot.ChainLink{Base: c.baseID, Prev: prev, Seq: uint64(i + 1)}
+		id, err := snapshot.LoadDelta(bytes.NewReader(d.Bytes()), want, inst.(snapshot.DeltaRestorer))
+		if err != nil {
+			return fmt.Errorf("restore (delta %d): %w", i+1, err)
+		}
+		prev = id
+	}
+	return nil
+}
+
+// killRestore simulates a process crash: the live instance is checkpointed
+// (extending the chain, so the crash-instant state is the tip), dropped,
+// and a fresh instance built from the same options is restored from the
+// whole chain. The generator (the outside world) survives; only the
+// cluster state dies.
+func killRestore(algo Algorithm, opt Options, inst Instance, chain *memChain, rep *Report) (Instance, error) {
+	if err := chain.checkpoint(inst, rep); err != nil {
+		return nil, err
 	}
 	fresh, err := algo.New(opt)
 	if err != nil {
 		return nil, fmt.Errorf("rebuild: %w", err)
 	}
-	if err := snapshot.Load(&buf, fresh.(Checkpointable)); err != nil {
-		return nil, fmt.Errorf("restore: %w", err)
+	if err := chain.restore(fresh); err != nil {
+		return nil, err
 	}
 	return fresh, nil
 }

@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -16,10 +15,15 @@ import (
 
 // Section tags of the server layer of an instance snapshot: run metadata
 // (config echo + restore-cycle count) and the admission mirror, written
-// ahead of the connectivity state.
+// ahead of the connectivity state. Delta containers use their own pair: the
+// meta echo is repeated (cheap, and it keeps every container
+// self-validating) while the mirror section carries only the update journal
+// accumulated since the last acknowledged checkpoint.
 const (
-	tagServerMeta   = 0x60
-	tagServerMirror = 0x61
+	tagServerMeta        = 0x60
+	tagServerMirror      = 0x61
+	tagServerMetaDelta   = 0x62
+	tagServerMirrorDelta = 0x63
 )
 
 // latencyBuckets are the upper bounds, in seconds, of the batch-apply
@@ -55,6 +59,21 @@ type instance struct {
 	accepting bool
 	mirror    *graph.Graph
 	queue     chan graph.Batch
+	// mirrorDelta journals every admitted update since the last acknowledged
+	// checkpoint (guarded by adm, like the mirror it shadows); delta
+	// checkpoints ship it instead of the whole mirror edge set.
+	mirrorDelta graph.Batch
+
+	// chain is the on-disk checkpoint chain (nil when checkpointing is off).
+	// Only the quiesced checkpoint path touches it.
+	chain *snapshot.Chain
+
+	// pending counts batches enqueued but not yet fully applied; the
+	// quiesced checkpoint path waits on it (with admission locked) so the
+	// mirror and the cluster state agree when the checkpoint is cut.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
 
 	// mu is the instance's single-writer/many-reader contract lock: the
 	// applier applies batches under Lock, handlers answer queries under
@@ -75,6 +94,13 @@ type instance struct {
 	applyNanos      atomic.Int64
 	applyCount      atomic.Uint64
 	applyBuckets    [len(latencyBuckets) + 1]atomic.Uint64
+	// Checkpoint metrics, split by container kind (full vs delta).
+	ckptFullCount  atomic.Uint64
+	ckptFullBytes  atomic.Uint64
+	ckptFullNanos  atomic.Int64
+	ckptDeltaCount atomic.Uint64
+	ckptDeltaBytes atomic.Uint64
+	ckptDeltaNanos atomic.Int64
 }
 
 // applyFailure records the first applier error; the instance refuses all
@@ -95,6 +121,7 @@ func newInstance(id int, cfg core.Config, queueDepth int) (*instance, error) {
 		queue:     make(chan graph.Batch, queueDepth),
 		dc:        dc,
 	}
+	in.pendCond = sync.NewCond(&in.pendMu)
 	in.wg.Add(1)
 	go in.applier()
 	return in, nil
@@ -117,10 +144,14 @@ func (in *instance) applier() {
 		in.rounds.Store(int64(rounds))
 		if err != nil {
 			in.failure.CompareAndSwap(nil, &applyFailure{err: err})
-			continue
+		} else {
+			in.batchesApplied.Add(1)
+			in.updatesApplied.Add(uint64(len(b)))
 		}
-		in.batchesApplied.Add(1)
-		in.updatesApplied.Add(uint64(len(b)))
+		in.pendMu.Lock()
+		in.pending--
+		in.pendMu.Unlock()
+		in.pendCond.Broadcast()
 	}
 }
 
@@ -171,7 +202,22 @@ func (in *instance) offer(b graph.Batch) error {
 		return fmt.Errorf("admission mirror diverged: %w", err)
 	}
 	in.queue <- b
+	in.mirrorDelta = append(in.mirrorDelta, b...)
+	in.pendMu.Lock()
+	in.pending++
+	in.pendMu.Unlock()
 	return nil
+}
+
+// waitIdle blocks until every enqueued batch has been applied. The caller
+// must hold adm (so no new batch can be admitted while waiting); it must NOT
+// hold mu, which the applier needs to make progress.
+func (in *instance) waitIdle() {
+	in.pendMu.Lock()
+	for in.pending > 0 {
+		in.pendCond.Wait()
+	}
+	in.pendMu.Unlock()
 }
 
 // validateBatch checks that b applies cleanly to g as one atomic batch:
@@ -239,27 +285,27 @@ func (in *instance) Checkpoint(e *snapshot.Encoder) {
 	in.dc.Checkpoint(e)
 }
 
-// restore loads the snapshot at path into this freshly constructed
-// instance, after validating the config echo, and bumps the restore-cycle
-// counter (which persists across restarts via the meta section).
-func (in *instance) restore(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// checkMeta validates a config echo against the instance's configuration.
+func (in *instance) checkMeta(n int, phi float64, seed uint64) error {
+	if n != in.cfg.N || phi != in.cfg.Phi || seed != in.cfg.Seed {
+		return fmt.Errorf("server: snapshot holds (n=%d, phi=%v, seed=%d), instance %d is configured (n=%d, phi=%v, seed=%d)",
+			n, phi, seed, in.id, in.cfg.N, in.cfg.Phi, in.cfg.Seed)
 	}
-	defer f.Close()
-	d, err := snapshot.NewDecoder(f)
-	if err != nil {
-		return err
-	}
+	return nil
+}
+
+// Restore implements snapshot.Restorer: it loads a full snapshot into this
+// freshly constructed instance, after validating the config echo, and bumps
+// the restore-cycle counter (which persists across restarts via the meta
+// section).
+func (in *instance) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagServerMeta)
 	n, phi, seed, cycles := d.Int(), d.F64(), d.U64(), d.U64()
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if n != in.cfg.N || phi != in.cfg.Phi || seed != in.cfg.Seed {
-		return fmt.Errorf("server: snapshot %s holds (n=%d, phi=%v, seed=%d), instance %d is configured (n=%d, phi=%v, seed=%d)",
-			path, n, phi, seed, in.id, in.cfg.N, in.cfg.Phi, in.cfg.Seed)
+	if err := in.checkMeta(n, phi, seed); err != nil {
+		return err
 	}
 	d.Begin(tagServerMirror)
 	if err := snapshot.DecodeGraphInto(d, in.mirror); err != nil {
@@ -268,9 +314,92 @@ func (in *instance) restore(path string) error {
 	if err := in.dc.Restore(d); err != nil {
 		return err
 	}
-	if err := d.Finish(); err != nil {
+	in.restoreCycles.Store(cycles + 1)
+	return nil
+}
+
+// CheckpointDelta implements snapshot.DeltaCheckpointer: the meta echo is
+// repeated in full (it is tiny and keeps each container self-validating),
+// but the mirror section carries only the updates admitted since the last
+// acknowledged checkpoint — replaying them onto the restored base mirror
+// reproduces the full mirror exactly. Same quiescence contract as
+// Checkpoint.
+func (in *instance) CheckpointDelta(e *snapshot.Encoder) {
+	e.Begin(tagServerMetaDelta)
+	e.Int(in.cfg.N)
+	e.F64(in.cfg.Phi)
+	e.U64(in.cfg.Seed)
+	e.U64(in.restoreCycles.Load())
+	e.Begin(tagServerMirrorDelta)
+	snapshot.EncodeUpdates(e, in.mirrorDelta)
+	in.dc.CheckpointDelta(e)
+}
+
+// RestoreDelta implements snapshot.DeltaRestorer: it replays one delta on
+// top of the previously restored state. The restore-cycle counter is carried
+// in every delta, so the tip delta's count wins — deltas appended after a
+// restart carry the post-restart count.
+func (in *instance) RestoreDelta(d *snapshot.Decoder) error {
+	d.Begin(tagServerMetaDelta)
+	n, phi, seed, cycles := d.Int(), d.F64(), d.U64(), d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := in.checkMeta(n, phi, seed); err != nil {
+		return err
+	}
+	d.Begin(tagServerMirrorDelta)
+	if err := snapshot.DecodeUpdatesInto(d, in.mirror); err != nil {
+		return err
+	}
+	if err := in.dc.RestoreDelta(d); err != nil {
 		return err
 	}
 	in.restoreCycles.Store(cycles + 1)
+	return nil
+}
+
+// AckCheckpoint implements snapshot.DeltaState: the chain calls it once the
+// container is durably on disk, making the written state the new delta
+// baseline.
+func (in *instance) AckCheckpoint() {
+	in.mirrorDelta = nil
+	in.dc.AckCheckpoint()
+}
+
+// checkpointQuiesced cuts a checkpoint (full or delta, the chain decides)
+// with the instance quiesced but still live: admission is held and the
+// applier drained of in-flight batches, so the mirror, the journal, and the
+// cluster state agree, but the instance resumes serving as soon as the
+// checkpoint is cut. No-op when checkpointing is off (nil chain).
+func (in *instance) checkpointQuiesced() error {
+	if in.chain == nil {
+		return nil
+	}
+	in.adm.Lock()
+	defer in.adm.Unlock()
+	in.waitIdle()
+	if err := in.failed(); err != nil {
+		return fmt.Errorf("skipping checkpoint: %w", err)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	start := time.Now()
+	kind, bytes, err := in.chain.Checkpoint(in)
+	nanos := int64(time.Since(start))
+	if err != nil {
+		in.failure.CompareAndSwap(nil, &applyFailure{err: fmt.Errorf("checkpoint: %w", err)})
+		return fmt.Errorf("instance %d checkpoint: %w", in.id, err)
+	}
+	switch kind {
+	case snapshot.KindDelta:
+		in.ckptDeltaCount.Add(1)
+		in.ckptDeltaBytes.Add(uint64(bytes))
+		in.ckptDeltaNanos.Add(nanos)
+	default:
+		in.ckptFullCount.Add(1)
+		in.ckptFullBytes.Add(uint64(bytes))
+		in.ckptFullNanos.Add(nanos)
+	}
 	return nil
 }

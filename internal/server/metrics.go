@@ -42,6 +42,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in *instance) uint64 { return in.queryBatches.Load() })
 	counter("mpcserve_restore_cycles_total", "Checkpoint/restore cycles this instance has survived.",
 		func(in *instance) uint64 { return in.restoreCycles.Load() })
+	// Checkpoint counters carry a kind label ("full" or "delta") so the cost
+	// split of the delta strategy is visible directly from a scrape.
+	kinded := func(name, help string, of func(in *instance, kind string) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, in := range s.insts {
+			for _, kind := range []string{"full", "delta"} {
+				fmt.Fprintf(&b, "%s{instance=\"%d\",kind=%q} %d\n", name, in.id, kind, of(in, kind))
+			}
+		}
+	}
+	kinded("mpcserve_checkpoint_total", "Checkpoints written, by container kind.",
+		func(in *instance, kind string) uint64 {
+			if kind == "delta" {
+				return in.ckptDeltaCount.Load()
+			}
+			return in.ckptFullCount.Load()
+		})
+	kinded("mpcserve_checkpoint_bytes_total", "Checkpoint container bytes written, by kind.",
+		func(in *instance, kind string) uint64 {
+			if kind == "delta" {
+				return in.ckptDeltaBytes.Load()
+			}
+			return in.ckptFullBytes.Load()
+		})
+	const ckptSec = "mpcserve_checkpoint_seconds_total"
+	fmt.Fprintf(&b, "# HELP %s Wall-clock seconds spent writing checkpoints, by kind.\n# TYPE %s counter\n", ckptSec, ckptSec)
+	for _, in := range s.insts {
+		fmt.Fprintf(&b, "%s{instance=\"%d\",kind=\"full\"} %s\n", ckptSec, in.id,
+			formatFloat(time.Duration(in.ckptFullNanos.Load()).Seconds()))
+		fmt.Fprintf(&b, "%s{instance=\"%d\",kind=\"delta\"} %s\n", ckptSec, in.id,
+			formatFloat(time.Duration(in.ckptDeltaNanos.Load()).Seconds()))
+	}
 	gauge("mpcserve_queue_depth", "Update batches waiting in the bounded queue.",
 		func(in *instance) float64 { return float64(len(in.queue)) })
 	gauge("mpcserve_instance_healthy", "1 while the instance serves traffic, 0 after an applier failure.",

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -36,8 +37,19 @@ type Config struct {
 	// queue refuses updates with 429 instead of buffering without bound.
 	QueueDepth int
 	// CheckpointDir, when set, is where Close checkpoints every instance
-	// (instance-NNN.snap) and where New looks for snapshots to restore.
+	// (instance-NNN.snap plus delta files) and where New looks for
+	// checkpoint chains to restore.
 	CheckpointDir string
+	// CheckpointEvery, when positive (and CheckpointDir is set), starts a
+	// background loop that checkpoints every instance at that period.
+	// Periodic checkpoints quiesce each instance briefly but do not stop
+	// the server; they are deltas whenever a base already exists.
+	CheckpointEvery time.Duration
+	// MaxDeltaChain bounds how many delta checkpoints may extend a full
+	// base before the next checkpoint compacts the chain into a fresh base.
+	// Zero or negative disables deltas: every checkpoint is a full
+	// snapshot. (The mpcserve CLI defaults it to 8.)
+	MaxDeltaChain int
 }
 
 // validate reports a descriptive usage error for an unusable config.
@@ -64,12 +76,18 @@ type Server struct {
 	insts  []*instance
 	mux    *http.ServeMux
 	closed atomic.Bool
+
+	// Background checkpoint loop (run only when CheckpointEvery > 0).
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
-// New builds the fleet. When cfg.CheckpointDir holds a snapshot for an
-// instance, that instance is restored from it (config-echo validated), so a
+// New builds the fleet. When cfg.CheckpointDir holds a checkpoint chain for
+// an instance — a full base snapshot plus any delta files — that instance is
+// restored from it (config-echo and chain-identity validated), so a
 // gracefully stopped server resumes bit-identically; instances without a
-// snapshot start empty.
+// base start empty. Stale temp files from a checkpoint interrupted mid-write
+// are swept before loading.
 func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 16
@@ -78,6 +96,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Instances; i++ {
 		icfg := core.Config{
 			N:           cfg.N,
@@ -93,16 +116,44 @@ func New(cfg Config) (*Server, error) {
 		s.insts = append(s.insts, in)
 		if cfg.CheckpointDir != "" {
 			path := instancePath(cfg.CheckpointDir, i)
-			if _, statErr := os.Stat(path); statErr == nil {
-				if err := in.restore(path); err != nil {
-					s.stopInstances()
-					return nil, fmt.Errorf("server: restore instance %d from %s: %w", i, path, err)
-				}
+			if _, err := snapshot.SweepStaleTemps(path); err != nil {
+				s.stopInstances()
+				return nil, fmt.Errorf("server: sweeping stale temps for instance %d: %w", i, err)
+			}
+			in.chain = snapshot.OpenChain(path, cfg.MaxDeltaChain)
+			if _, err := in.chain.Restore(in); err != nil {
+				s.stopInstances()
+				return nil, fmt.Errorf("server: restore instance %d from %s: %w", i, path, err)
 			}
 		}
 	}
 	s.routes()
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+// checkpointLoop checkpoints the whole fleet at the configured period until
+// Close stops it. Per-instance errors mark that instance failed (its health
+// flips in /instances and /metrics) but do not stop the loop or the server —
+// the other instances keep checkpointing.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			for _, in := range s.insts {
+				in.checkpointQuiesced()
+			}
+		}
+	}
 }
 
 // stopInstances drains whatever instances were already started (used on
@@ -113,13 +164,20 @@ func (s *Server) stopInstances() {
 	}
 }
 
-// Close gracefully shuts the fleet down: admission stops (updates get 503),
-// every queue drains, and — when CheckpointDir is set — every instance is
-// checkpointed via snapshot.WriteFileAtomic. Idempotent; returns the first
-// checkpoint error.
+// Close gracefully shuts the fleet down: the background checkpoint loop (if
+// any) stops, admission stops (updates get 503), every queue drains, and —
+// when CheckpointDir is set — every instance is checkpointed through its
+// chain (a delta when a base exists and the chain has room, a full base
+// otherwise). One instance failing to checkpoint does not abort the rest:
+// every instance gets its checkpoint attempt, and Close returns all
+// failures joined. Idempotent.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
 	}
 	var wg sync.WaitGroup
 	for _, in := range s.insts {
@@ -133,22 +191,11 @@ func (s *Server) Close() error {
 	if s.cfg.CheckpointDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
-		return err
+	errs := make([]error, len(s.insts))
+	for i, in := range s.insts {
+		errs[i] = in.checkpointQuiesced()
 	}
-	var firstErr error
-	for _, in := range s.insts {
-		// The write lock excludes any query handler still in flight (the
-		// closed gate stops new ones): Checkpoint reads the label cache and
-		// cluster state without further locking.
-		in.mu.Lock()
-		err := snapshot.WriteFileAtomic(instancePath(s.cfg.CheckpointDir, in.id), in)
-		in.mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // ServeHTTP implements http.Handler.

@@ -3,9 +3,11 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -322,6 +324,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mpcserve_batch_apply_seconds_bucket",
 		"mpcserve_batch_apply_seconds_sum",
 		"mpcserve_batch_apply_seconds_count",
+		"mpcserve_checkpoint_total",
+		"mpcserve_checkpoint_bytes_total",
+		"mpcserve_checkpoint_seconds_total",
 	} {
 		if !strings.Contains(body, name) {
 			t.Errorf("metrics output missing %s", name)
@@ -388,5 +393,151 @@ func TestValidateBatch(t *testing.T) {
 	// validateBatch never mutates the graph.
 	if g.M() != 1 {
 		t.Errorf("validation mutated the graph: M = %d", g.M())
+	}
+}
+
+// TestServerDeltaCheckpointChain is the server-side chain contract: a
+// second graceful shutdown writes a delta (the base already exists), and a
+// fleet restored from base+delta answers bit-identically to the fleet that
+// wrote it — warm cache and intact admission mirror included.
+func TestServerDeltaCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+	cfg.MaxDeltaChain = 4
+
+	// Generation 1: full base on shutdown.
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	resp := postJSON(t, ts1.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{
+		{Op: "insert", U: 0, V: 1},
+		{Op: "insert", U: 2, V: 3},
+	}})
+	resp.Body.Close()
+	waitDrained(t, srv1.insts[0])
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv1.insts[0].ckptFullCount.Load(); got != 1 {
+		t.Fatalf("generation 1 wrote %d full checkpoints, want 1", got)
+	}
+
+	// Generation 2: restores the base, applies more updates, and its
+	// shutdown checkpoint must be a delta extending that base.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	resp = postJSON(t, ts2.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{
+		{Op: "insert", U: 1, V: 2},
+		{Op: "delete", U: 2, V: 3},
+	}})
+	resp.Body.Close()
+	waitDrained(t, srv2.insts[0])
+	pairs := [][2]int{{0, 2}, {2, 3}, {0, 3}}
+	resp = postJSON(t, ts2.URL+"/instances/0/query", QueryRequest{Pairs: pairs})
+	before := decodeJSON[QueryResponse](t, resp)
+	ts2.Close()
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if full, delta := srv2.insts[0].ckptFullCount.Load(), srv2.insts[0].ckptDeltaCount.Load(); full != 0 || delta != 1 {
+		t.Fatalf("generation 2 wrote full=%d delta=%d checkpoints, want 0 full, 1 delta", full, delta)
+	}
+	if _, err := os.Stat(instancePath(dir, 0) + ".delta-001"); err != nil {
+		t.Fatalf("delta file missing after generation 2 shutdown: %v", err)
+	}
+
+	// Generation 3: restored from base+delta, answers must match and the
+	// cache must be warm (no collective ran for the repeated query).
+	srv3, ts3 := newTestServer(t, cfg)
+	for _, in := range srv3.insts {
+		if got := in.restoreCycles.Load(); got != 2 {
+			t.Errorf("instance %d: restore cycles = %d, want 2", in.id, got)
+		}
+	}
+	resp = postJSON(t, ts3.URL+"/instances/0/query", QueryRequest{Pairs: pairs})
+	after := decodeJSON[QueryResponse](t, resp)
+	if fmt.Sprint(after) != fmt.Sprint(before) {
+		t.Errorf("restored answers %v, want %v", after, before)
+	}
+	if hits, misses := srv3.insts[0].dc.QueryCacheStats(); hits == 0 || misses != 0 {
+		t.Errorf("restore from base+delta was not warm: hits=%d misses=%d", hits, misses)
+	}
+	// Admission mirror replayed the delta journal: the deleted edge can be
+	// re-inserted, the still-present one cannot.
+	resp = postJSON(t, ts3.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 1, V: 2}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("duplicate insert after delta restore: status %d, want 422", resp.StatusCode)
+	}
+	resp = postJSON(t, ts3.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 2, V: 3}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("re-insert of delta-deleted edge: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestServerCloseCheckpointsEveryInstance pins the shutdown contract: one
+// failed instance must not abort the fleet checkpoint — the healthy
+// instances still get their snapshots, and Close reports the failure.
+func TestServerCloseCheckpointsEveryInstance(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	resp := postJSON(t, ts.URL+"/instances/1/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 0, V: 1}}})
+	resp.Body.Close()
+	waitDrained(t, srv.insts[1])
+	// Instance 0 (the first one Close visits) is failed: its checkpoint is
+	// skipped with an error, but instance 1 must still be checkpointed.
+	srv.insts[0].failure.Store(&applyFailure{err: errors.New("induced failure")})
+	ts.Close()
+	err = srv.Close()
+	if err == nil || !strings.Contains(err.Error(), "induced failure") {
+		t.Fatalf("Close error = %v, want the induced instance-0 failure reported", err)
+	}
+	if _, statErr := os.Stat(instancePath(dir, 1)); statErr != nil {
+		t.Errorf("instance 1 was not checkpointed after instance 0 failed: %v", statErr)
+	}
+	if _, statErr := os.Stat(instancePath(dir, 0)); statErr == nil {
+		t.Errorf("failed instance 0 wrote a checkpoint; its state is not trustworthy")
+	}
+}
+
+// TestServerPeriodicCheckpoint exercises the background checkpoint loop: a
+// live (non-shutdown) server cuts a full base then deltas on its own, while
+// continuing to serve.
+func TestServerPeriodicCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 20 * time.Millisecond
+	cfg.MaxDeltaChain = 4
+	srv, ts := newTestServer(t, cfg)
+	resp := postJSON(t, ts.URL+"/instances/0/updates", UpdateRequest{Updates: []WireUpdate{{Op: "insert", U: 0, V: 1}}})
+	resp.Body.Close()
+	waitDrained(t, srv.insts[0])
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.insts[0].ckptFullCount.Load() == 0 || srv.insts[0].ckptDeltaCount.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background loop wrote full=%d delta=%d checkpoints; want both kinds",
+				srv.insts[0].ckptFullCount.Load(), srv.insts[0].ckptDeltaCount.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The server still serves while checkpointing in the background.
+	resp = postJSON(t, ts.URL+"/instances/0/query", QueryRequest{Pairs: [][2]int{{0, 1}}})
+	if got := decodeJSON[QueryResponse](t, resp); !got.Connected[0] {
+		t.Error("query answered wrong during background checkpointing")
 	}
 }

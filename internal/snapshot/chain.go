@@ -1,0 +1,266 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chain manages a checkpoint chain on disk: one full base snapshot at path
+// plus a bounded run of delta files path.delta-001, path.delta-002, …, each
+// naming (via its ChainLink header) the exact base and predecessor it
+// extends. Checkpoint decides full-vs-delta and handles compaction; Restore
+// replays base + chain and tolerates the leftovers a crash mid-compaction
+// can leave behind. A Chain is a single-writer object — the process that
+// owns the snapshot directory.
+type Chain struct {
+	path      string
+	maxDeltas int
+
+	// linked reports whether this process materialized the on-disk tip —
+	// either by restoring the chain or by writing its last container. Deltas
+	// are written only while linked: any doubt (fresh chain, failed write)
+	// forces the next checkpoint to be a full base.
+	linked bool
+	baseID uint64 // identity of the on-disk base snapshot
+	tipID  uint64 // identity of the last container in the chain (base if seq==0)
+	seq    int    // number of deltas currently in the chain
+
+	// orphansRemoved counts stale delta files Restore deleted (leftovers of
+	// a crash between base rewrite and delta cleanup during compaction).
+	orphansRemoved int
+}
+
+// Checkpoint kinds reported by Chain.Checkpoint.
+const (
+	KindFull  = "full"
+	KindDelta = "delta"
+)
+
+// OpenChain returns a chain manager rooted at path. maxDeltas bounds the
+// chain length: once that many deltas extend the base, the next Checkpoint
+// folds everything into a fresh full base (compaction). maxDeltas <= 0
+// disables deltas entirely — every Checkpoint is full.
+func OpenChain(path string, maxDeltas int) *Chain {
+	return &Chain{path: path, maxDeltas: maxDeltas}
+}
+
+// Path returns the base snapshot path the chain is rooted at.
+func (c *Chain) Path() string { return c.path }
+
+// Len returns the number of deltas currently extending the base.
+func (c *Chain) Len() int { return c.seq }
+
+// OrphansRemoved reports how many stale delta files the last Restore swept.
+func (c *Chain) OrphansRemoved() int { return c.orphansRemoved }
+
+func (c *Chain) deltaPath(seq int) string {
+	return fmt.Sprintf("%s.delta-%03d", c.path, seq)
+}
+
+// Checkpoint writes the next checkpoint in the chain: a delta extending the
+// current tip when one exists and the chain is still under maxDeltas, a
+// fresh full base otherwise (first checkpoint, compaction due, or the
+// previous write failed). The write is atomic either way; on success every
+// state's AckCheckpoint runs, so dirty tracking resets only once the bytes
+// are durable. Compaction is crash-safe by ordering: the new base replaces
+// the old atomically first, and only then are the now-stale delta files
+// removed — a crash in between leaves deltas whose Base identity no longer
+// matches, which Restore detects and sweeps.
+//
+// It reports which kind was written ("full" or "delta") and the container
+// size in bytes.
+func (c *Chain) Checkpoint(states ...DeltaState) (kind string, bytes int64, err error) {
+	if c.linked && c.maxDeltas > 0 && c.seq < c.maxDeltas {
+		return c.checkpointDelta(states)
+	}
+	return c.checkpointFull(states)
+}
+
+func (c *Chain) checkpointFull(states []DeltaState) (string, int64, error) {
+	staleDeltas := c.seq
+	if !c.linked {
+		// We did not materialize the on-disk chain; there may be delta files
+		// from a previous incarnation beyond what we know about. Scan.
+		staleDeltas = c.countDeltaFiles()
+	}
+	var n countingSaver
+	id, err := writeFileAtomic(c.path, func(w io.Writer) (uint64, error) {
+		n.reset(w)
+		return SaveBase(&n, states2checkpointers(states)...)
+	})
+	if err != nil {
+		c.linked = false
+		return KindFull, 0, err
+	}
+	// The new base is durable; stale deltas reference the old base identity
+	// and must go. Removal failures are not fatal to the checkpoint — the
+	// leftovers carry a mismatching Base and Restore ignores them — but we
+	// try here so the directory stays tidy.
+	for s := 1; s <= staleDeltas; s++ {
+		os.Remove(c.deltaPath(s))
+	}
+	c.linked = true
+	c.baseID = id
+	c.tipID = id
+	c.seq = 0
+	for _, s := range states {
+		s.AckCheckpoint()
+	}
+	return KindFull, n.n, nil
+}
+
+func (c *Chain) checkpointDelta(states []DeltaState) (string, int64, error) {
+	link := ChainLink{Base: c.baseID, Prev: c.tipID, Seq: uint64(c.seq + 1)}
+	var n countingSaver
+	id, err := writeFileAtomic(c.deltaPath(c.seq+1), func(w io.Writer) (uint64, error) {
+		n.reset(w)
+		return SaveDelta(&n, link, states2deltaCheckpointers(states)...)
+	})
+	if err != nil {
+		c.linked = false
+		return KindDelta, 0, err
+	}
+	c.seq++
+	c.tipID = id
+	for _, s := range states {
+		s.AckCheckpoint()
+	}
+	return KindDelta, n.n, nil
+}
+
+// countDeltaFiles returns the highest contiguous delta sequence present on
+// disk starting at 1.
+func (c *Chain) countDeltaFiles() int {
+	n := 0
+	for {
+		if _, err := os.Stat(c.deltaPath(n + 1)); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// Restore loads the base snapshot and replays every delta that links to it,
+// in sequence, leaving the chain ready to extend with further deltas. It
+// returns (false, nil) when no base exists (fresh start). Chain-identity
+// validation runs per delta before any of that delta's state is touched:
+// a delta naming a different base is an orphan from a crash mid-compaction
+// and is removed (counted in OrphansRemoved) along with everything after
+// it; a corrupt or torn container is a hard error, because the chain it
+// belongs to cannot be trusted.
+func (c *Chain) Restore(states ...DeltaState) (bool, error) {
+	c.linked = false
+	c.orphansRemoved = 0
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	baseID, err := LoadBase(f, states2restorers(states)...)
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("restoring base %s: %w", c.path, err)
+	}
+	c.baseID = baseID
+	c.tipID = baseID
+	c.seq = 0
+	for {
+		next := c.deltaPath(c.seq + 1)
+		df, err := os.Open(next)
+		if os.IsNotExist(err) {
+			break
+		}
+		if err != nil {
+			return false, err
+		}
+		want := ChainLink{Base: c.baseID, Prev: c.tipID, Seq: uint64(c.seq + 1)}
+		// Peek the header first: an orphaned delta (stale Base from a crash
+		// between compaction's base rewrite and its delta cleanup) is swept,
+		// not an error. Anything else wrong — corruption, truncation, a
+		// sequence break — is.
+		link, _, err := PeekDelta(df)
+		if err != nil {
+			df.Close()
+			return false, fmt.Errorf("restoring delta %s: %w", next, err)
+		}
+		if link.Base != c.baseID {
+			df.Close()
+			c.removeOrphansFrom(c.seq + 1)
+			break
+		}
+		if _, err := df.Seek(0, io.SeekStart); err != nil {
+			df.Close()
+			return false, err
+		}
+		id, err := LoadDelta(df, want, states2deltaRestorers(states)...)
+		df.Close()
+		if err != nil {
+			return false, fmt.Errorf("restoring delta %s: %w", next, err)
+		}
+		c.seq++
+		c.tipID = id
+	}
+	c.linked = true
+	return true, nil
+}
+
+// removeOrphansFrom deletes delta files from sequence seq upward until a
+// gap, counting the removals.
+func (c *Chain) removeOrphansFrom(seq int) {
+	for s := seq; ; s++ {
+		if err := os.Remove(c.deltaPath(s)); err != nil {
+			return
+		}
+		c.orphansRemoved++
+	}
+}
+
+// countingSaver counts bytes written through it so Checkpoint can report
+// container sizes without re-statting files.
+type countingSaver struct {
+	w io.Writer
+	n int64
+}
+
+func (cs *countingSaver) reset(w io.Writer) { cs.w, cs.n = w, 0 }
+
+func (cs *countingSaver) Write(p []byte) (int, error) {
+	n, err := cs.w.Write(p)
+	cs.n += int64(n)
+	return n, err
+}
+
+func states2checkpointers(states []DeltaState) []Checkpointer {
+	out := make([]Checkpointer, len(states))
+	for i, s := range states {
+		out[i] = s
+	}
+	return out
+}
+
+func states2deltaCheckpointers(states []DeltaState) []DeltaCheckpointer {
+	out := make([]DeltaCheckpointer, len(states))
+	for i, s := range states {
+		out[i] = s
+	}
+	return out
+}
+
+func states2restorers(states []DeltaState) []Restorer {
+	out := make([]Restorer, len(states))
+	for i, s := range states {
+		out[i] = s
+	}
+	return out
+}
+
+func states2deltaRestorers(states []DeltaState) []DeltaRestorer {
+	out := make([]DeltaRestorer, len(states))
+	for i, s := range states {
+		out[i] = s
+	}
+	return out
+}

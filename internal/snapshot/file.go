@@ -1,9 +1,24 @@
 package snapshot
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
+
+// crashPoint is the crash-atomicity failpoint hook: tests set it to a
+// function that panics (simulating the process dying) at a named stage of
+// the atomic write. Stages, in order: "temp-written" (temp file synced and
+// closed, rename not yet issued), "renamed" (rename done, directory not yet
+// synced). nil in production.
+var crashPoint func(stage string)
+
+func hitCrashPoint(stage string) {
+	if crashPoint != nil {
+		crashPoint(stage)
+	}
+}
 
 // WriteFileAtomic checkpoints states into path with crash-safe semantics:
 // the snapshot is written to a temporary file in the same directory, fsynced,
@@ -12,19 +27,34 @@ import (
 // intact or the new one complete — never a truncated snapshot that Load
 // would reject after the old one is already gone. Every error, including the
 // ones Close reports at the end of a buffered write, is returned.
+//
+// A crash between creating the temp file and the rename orphans the temp
+// (that is the point: the previous snapshot survives); SweepStaleTemps
+// removes such orphans and is run by the restore paths before loading.
 func WriteFileAtomic(path string, states ...Checkpointer) error {
+	_, err := writeFileAtomic(path, func(w io.Writer) (uint64, error) {
+		return 0, Save(w, states...)
+	})
+	return err
+}
+
+// writeFileAtomic is the shared atomic-write core: save writes one
+// container to the temp file and returns its identity, which is passed
+// through on success along with the byte size written.
+func writeFileAtomic(path string, save func(w io.Writer) (uint64, error)) (uint64, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tmp := f.Name()
-	discard := func(err error) error {
+	discard := func(err error) (uint64, error) {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	if err := Save(f, states...); err != nil {
+	id, err := save(f)
+	if err != nil {
 		return discard(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -32,13 +62,15 @@ func WriteFileAtomic(path string, states ...Checkpointer) error {
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
+	hitCrashPoint("temp-written")
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return syncDir(dir)
+	hitCrashPoint("renamed")
+	return id, syncDir(dir)
 }
 
 // syncDir makes a just-completed rename in dir durable.
@@ -63,4 +95,37 @@ func LoadFile(path string, states ...Restorer) error {
 	}
 	defer f.Close()
 	return Load(f, states...)
+}
+
+// SweepStaleTemps removes the temp files a died-mid-write process left next
+// to the snapshot at path: same directory, named after the snapshot (the
+// exact pattern WriteFileAtomic and the chain writers use, including the
+// delta files' temps), never the live snapshot or its deltas themselves.
+// Call it only before any writer is live — the startup restore and resume
+// paths do, which is the only time an orphan can be told from an in-flight
+// write. Returns the removed file names; a missing directory is not an
+// error (nothing to sweep).
+func SweepStaleTemps(path string) ([]string, error) {
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var removed []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, base) || !strings.Contains(name, ".tmp") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		if err := os.Remove(full); err != nil {
+			return removed, err
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
 }

@@ -38,6 +38,19 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(skewed)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Delta containers: the full-snapshot decoder must reject the delta
+	// magic up front (with the flavor-aware diagnostic), and truncated or
+	// chain-reordered variants must never panic it either.
+	var dbuf bytes.Buffer
+	if _, err := SaveDelta(&dbuf, ChainLink{Base: 1, Prev: 1, Seq: 1}, &counterState{tag: 1, journal: 7}); err != nil {
+		f.Fatal(err)
+	}
+	delta := dbuf.Bytes()
+	f.Add(delta)
+	f.Add(delta[:len(delta)-9]) // truncated delta
+	reordered := append([]byte(nil), delta...)
+	binary.LittleEndian.PutUint64(reordered[48:], 99) // ChainLink.Seq scrambled
+	f.Add(reordered)
 	// A structurally valid container whose section claims an absurd item
 	// count: the bounded accessors must latch a diagnostic, never hand the
 	// claimed count to an allocator (testdata carries this shape too, as
@@ -113,6 +126,59 @@ func FuzzSnapshotDecode(f *testing.F) {
 			if d3.Err() != nil {
 				break
 			}
+		}
+	})
+}
+
+// FuzzDeltaDecode hammers the delta-container path with arbitrary bytes:
+// PeekDelta and LoadDelta must never panic, and every input LoadDelta
+// accepts must carry the exact chain identity the caller demanded — corrupt,
+// truncated, reordered, orphaned, and full-magic inputs all fail before any
+// state is touched. The corpus seeds each rejection class explicitly.
+func FuzzDeltaDecode(f *testing.F) {
+	want := ChainLink{Base: 11, Prev: 22, Seq: 3}
+	mk := func(link ChainLink) []byte {
+		var buf bytes.Buffer
+		if _, err := SaveDelta(&buf, link, &counterState{tag: 1, journal: 7}); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := mk(want)
+	f.Add(valid)
+	f.Add(mk(ChainLink{Base: 99, Prev: 22, Seq: 3})) // orphan: wrong base
+	f.Add(mk(ChainLink{Base: 11, Prev: 22, Seq: 9})) // out of order: wrong seq
+	f.Add(mk(ChainLink{Base: 11, Prev: 77, Seq: 3})) // out of order: wrong prev
+	f.Add(valid[:len(valid)-9])                      // truncated mid-CRC
+	f.Add(valid[:24])                                // truncated header
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x08
+	f.Add(flipped)
+	// A full snapshot container where a delta is expected.
+	var full bytes.Buffer
+	if err := Save(&full, &fakeState{tag: 1, value: 7}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if link, _, err := PeekDelta(bytes.NewReader(data)); err == nil && link.Base == 0 && link.Seq == 0 && link.Prev == 0 {
+			// A peeked link is arbitrary fuzz data; just exercise the path.
+			_ = link
+		}
+		st := &counterState{tag: 1, value: -1}
+		if _, err := LoadDelta(bytes.NewReader(data), want, st); err != nil {
+			// Rejected inputs must not have touched the state.
+			if st.value != -1 {
+				t.Fatalf("rejected delta mutated state to %d", st.value)
+			}
+			return
+		}
+		// Accepted: the container must carry exactly the demanded identity.
+		link, _, err := PeekDelta(bytes.NewReader(data))
+		if err != nil || link != want {
+			t.Fatalf("LoadDelta accepted link %+v (peek err %v), want %+v", link, err, want)
 		}
 	})
 }

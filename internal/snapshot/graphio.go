@@ -49,3 +49,52 @@ func DecodeGraphInto(d *Decoder, g *graph.Graph) error {
 	}
 	return d.Err()
 }
+
+// EncodeUpdates appends an update journal to the current section as a
+// count-prefixed list of (op, u, v, weight) tuples in application order.
+// Unlike EncodeGraph this preserves history, not just the final edge set —
+// it is the delta counterpart: a mirror graph restored from a base plus a
+// replayed journal equals the mirror at checkpoint time. Pair with
+// DecodeUpdatesInto.
+func EncodeUpdates(e *Encoder, b graph.Batch) {
+	e.Int(len(b))
+	for _, up := range b {
+		e.U64(uint64(up.Op))
+		e.Int(up.Edge.U)
+		e.Int(up.Edge.V)
+		e.I64(up.Weight)
+	}
+}
+
+// DecodeUpdatesInto reads a journal written by EncodeUpdates and applies it
+// to g in order. The count prefix is bounded against the section, ops and
+// vertex ranges are validated here, and each update is validated by the
+// graph itself (insert-present, delete-absent), so a corrupt or mismatched
+// journal fails with a diagnostic instead of corrupting the mirror.
+func DecodeUpdatesInto(d *Decoder, g *graph.Graph) error {
+	cnt := d.Count(4)
+	for i := 0; i < cnt && d.Err() == nil; i++ {
+		op := d.U64()
+		u, v := d.Int(), d.Int()
+		w := d.I64()
+		if d.Err() != nil {
+			break
+		}
+		if op != uint64(graph.Insert) && op != uint64(graph.Delete) {
+			return fmt.Errorf("snapshot update journal: bad op %d", op)
+		}
+		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+			return fmt.Errorf("snapshot update journal edge {%d,%d}: vertex out of range [0,%d)", u, v, g.N())
+		}
+		var err error
+		if op == uint64(graph.Insert) {
+			err = g.Insert(u, v, w)
+		} else {
+			err = g.Delete(u, v)
+		}
+		if err != nil {
+			return fmt.Errorf("snapshot update journal edge {%d,%d}: %w", u, v, err)
+		}
+	}
+	return d.Err()
+}

@@ -23,6 +23,39 @@
 // truncated, bit-flipped, or version-skewed snapshots fail loudly with a
 // diagnostic error instead of being applied.
 //
+// # Delta containers
+//
+// A delta container is the incremental sibling of the full snapshot: same
+// word stream, same version word, same trailing CRC, but DeltaMagic
+// ("MPCDELT1") in word 0 and a mandatory first section (tagChain) carrying
+// the chain identity:
+//
+//	word 0   DeltaMagic ("MPCDELT1")
+//	word 1   format version (Version)
+//	word 2   payload length in words
+//	...      section tagChain: ChainLink{Base, Prev, Seq}
+//	...      delta sections (dirty regions / journals, per subsystem)
+//	last     CRC-32C of all preceding bytes
+//
+// ChainLink pins where in a chain the delta belongs: Base is the CRC word
+// of the full base snapshot, Prev the CRC word of the immediately
+// preceding container (the base for Seq 1), and Seq the 1-based position.
+// LoadDelta validates magic, version, CRC, and the full ChainLink against
+// the caller's expectation before any state is touched: a Base mismatch is
+// an orphaned delta (a leftover from before a compaction — sweepable, not
+// applicable), a Seq or Prev mismatch is an out-of-order delta (a hard
+// error). Chain (chain.go) builds the operational layer on top: full base
+// at <path>, deltas at <path>.delta-NNN, periodic compaction into a fresh
+// base (written atomically first, stale deltas removed after, so a crash
+// between the two leaves only orphans), and Restore-time orphan sweeping.
+//
+// Subsystems opt in by implementing DeltaState: CheckpointDelta writes
+// only the regions dirtied since the last acknowledged checkpoint,
+// RestoreDelta applies them in chain order on top of a restored base, and
+// AckCheckpoint clears the dirty journals — called only after the
+// container is durably on disk, so a failed or crashed write folds its
+// churn into the next delta instead of losing it.
+//
 // # Version policy
 //
 // Version is bumped on any incompatible change to the container or to any
@@ -200,10 +233,19 @@ func (e *Encoder) String(s string) {
 // WriteTo serializes the snapshot container — header, payload frames,
 // CRC — to w and returns the bytes written.
 func (e *Encoder) WriteTo(w io.Writer) (int64, error) {
+	n, _, err := e.writeTo(w, Magic)
+	return n, err
+}
+
+// writeTo serializes the container under the given magic word and returns
+// the bytes written plus the container's identity: the trailing CRC word,
+// which is a deterministic function of the full container bytes and is what
+// delta chains use to name their base and predecessor (see delta.go).
+func (e *Encoder) writeTo(w io.Writer, magic uint64) (int64, uint64, error) {
 	e.flush()
 	payload := e.batch.Raw()
 	buf := make([]byte, 8*(headerWords+len(payload)))
-	binary.LittleEndian.PutUint64(buf[0:], Magic)
+	binary.LittleEndian.PutUint64(buf[0:], magic)
 	binary.LittleEndian.PutUint64(buf[8:], Version)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(len(payload)))
 	for i, x := range payload {
@@ -212,7 +254,7 @@ func (e *Encoder) WriteTo(w io.Writer) (int64, error) {
 	crc := crc32.Checksum(buf[:len(buf)-8], castagnoli)
 	binary.LittleEndian.PutUint64(buf[len(buf)-8:], uint64(crc))
 	n, err := w.Write(buf)
-	return int64(n), err
+	return int64(n), uint64(crc), err
 }
 
 // Decoder reads a verified snapshot payload section by section. Accessors
@@ -232,47 +274,64 @@ type Decoder struct {
 // Any violation is returned as a diagnostic error before a single section
 // is handed out.
 func NewDecoder(r io.Reader) (*Decoder, error) {
+	d, _, err := newDecoder(r, Magic, "snapshot")
+	return d, err
+}
+
+// newDecoder is NewDecoder parameterized over the expected magic word; it
+// also returns the container identity (the verified trailing CRC word), the
+// same value writeTo reported when the container was produced.
+func newDecoder(r io.Reader, magic uint64, kind string) (*Decoder, uint64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
+		return nil, 0, fmt.Errorf("snapshot: %w", err)
 	}
 	if len(data)%8 != 0 {
-		return nil, fmt.Errorf("snapshot: truncated file: %d bytes is not a whole number of words", len(data))
+		return nil, 0, fmt.Errorf("snapshot: truncated file: %d bytes is not a whole number of words", len(data))
 	}
 	words := make([]uint64, len(data)/8)
 	for i := range words {
 		words[i] = binary.LittleEndian.Uint64(data[8*i:])
 	}
 	if len(words) < headerWords {
-		return nil, fmt.Errorf("snapshot: truncated header: %d words, want at least %d", len(words), headerWords)
+		return nil, 0, fmt.Errorf("snapshot: truncated header: %d words, want at least %d", len(words), headerWords)
 	}
-	if words[0] != Magic {
-		return nil, fmt.Errorf("snapshot: bad magic word %#x: not a snapshot file", words[0])
+	if words[0] != magic {
+		// A well-formed container of the other flavor gets a pointed
+		// diagnostic: mixing up base and delta files is an operator error
+		// distinct from corruption.
+		switch words[0] {
+		case Magic:
+			return nil, 0, fmt.Errorf("snapshot: full snapshot container where a %s was expected", kind)
+		case DeltaMagic:
+			return nil, 0, fmt.Errorf("snapshot: delta container where a %s was expected", kind)
+		}
+		return nil, 0, fmt.Errorf("snapshot: bad magic word %#x: not a %s file", words[0], kind)
 	}
 	if words[1] != Version {
-		return nil, fmt.Errorf("snapshot: format version %d, want %d: regenerate the checkpoint", words[1], Version)
+		return nil, 0, fmt.Errorf("snapshot: format version %d, want %d: regenerate the checkpoint", words[1], Version)
 	}
 	if words[2] != uint64(len(words)-headerWords) {
-		return nil, fmt.Errorf("snapshot: truncated payload: header declares %d words, file carries %d",
+		return nil, 0, fmt.Errorf("snapshot: truncated payload: header declares %d words, file carries %d",
 			words[2], len(words)-headerWords)
 	}
 	crc := crc32.Checksum(data[:len(data)-8], castagnoli)
 	if uint64(crc) != words[len(words)-1] {
-		return nil, fmt.Errorf("snapshot: checksum mismatch (stored %#x, computed %#x): snapshot corrupted",
+		return nil, 0, fmt.Errorf("snapshot: checksum mismatch (stored %#x, computed %#x): snapshot corrupted",
 			words[len(words)-1], crc)
 	}
 	b, err := mpc.MessageBatchFromRaw(words[3 : len(words)-1])
 	if err != nil {
-		return nil, fmt.Errorf("snapshot: corrupt section framing: %w", err)
+		return nil, 0, fmt.Errorf("snapshot: corrupt section framing: %w", err)
 	}
 	d := &Decoder{}
 	for f := range b.Frames {
 		if len(f) == 0 {
-			return nil, fmt.Errorf("snapshot: section %d has no tag word", len(d.frames))
+			return nil, 0, fmt.Errorf("snapshot: section %d has no tag word", len(d.frames))
 		}
 		d.frames = append(d.frames, f)
 	}
-	return d, nil
+	return d, uint64(crc), nil
 }
 
 // fail latches the first error.

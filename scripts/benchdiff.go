@@ -62,9 +62,12 @@ type Result struct {
 	SpeedupVsSeq   float64 `json:"speedup_vs_seq,omitempty"`
 
 	// Procs is the GOMAXPROCS the measurement ran under (the -N suffix of
-	// the benchmark line). It qualifies the speedup floor and is not part
-	// of the stored baseline.
-	Procs int `json:"-"`
+	// the benchmark line). It qualifies the speedup floor, and it is stored
+	// in the baseline so every entry records the parallelism it was
+	// measured at — a speedup number without its procs is uninterpretable,
+	// which is how a ~0.94x single-core measurement once cohabited a
+	// baseline with a 1.05x CI floor.
+	Procs int `json:"procs"`
 }
 
 // Baseline is the on-disk schema of BENCH_sketch.json.
@@ -246,6 +249,18 @@ func main() {
 	}
 
 	if *update {
+		// Refuse to bake in speedup measurements from a host that cannot
+		// exhibit parallel speedup: the number would contradict the CI floor
+		// the moment the baseline lands. The entry is kept (its ns/op and
+		// B/op are fine) with the speedup dropped.
+		for name, res := range got {
+			if res.SpeedupVsSeq != 0 && res.Procs < *minSpeedupProcs {
+				fmt.Printf("benchdiff: %s: dropping speedup-vs-seq %.2f measured at GOMAXPROCS %d (< -min-speedup-procs %d)\n",
+					name, res.SpeedupVsSeq, res.Procs, *minSpeedupProcs)
+				res.SpeedupVsSeq = 0
+				got[name] = res
+			}
+		}
 		b := Baseline{Note: *note, Benchmarks: got}
 		if b.Note == "" {
 			b.Note = "regenerate: go test -run '^$' -bench <set> -benchmem | go run ./scripts/benchdiff.go -update"
