@@ -41,16 +41,28 @@
 // chain checkpoint every k batches, so each restore replays a full base
 // plus a multi-delta chain.
 //
+// Elasticity (see internal/snapshot doc): -resume-machines M re-shards the
+// restored state onto a fleet of exactly M machines before replaying — the
+// deterministic vertex→machine map makes the migration a pure state
+// redistribution, rejected with a diagnostic when the shrunken per-machine
+// memory budget cannot hold it. With -scenario, -fault-every k kills a
+// seeded machine roughly every k batches; each loss is recovered by
+// re-sharding the last checkpoint onto the surviving fleet and replaying
+// the in-flight batches, with the oracle still checking every batch.
+//
 //	mpcstream -algo connectivity -n 256 -batches 50 -checkpoint state.snap
 //	mpcstream -algo connectivity -resume state.snap -stream more.txt
 //	mpcstream -algo connectivity -resume state.snap -stream more.txt -checkpoint state.snap
+//	mpcstream -algo connectivity -resume state.snap -resume-machines 9 -stream more.txt
 //	mpcstream -algo connectivity -scenario powerlaw -batches 200 -crash-every 50 -delta-every 10
+//	mpcstream -algo connectivity -scenario powerlaw -batches 200 -fault-every 60
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the run (see
 // README.md "Profiling").
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -91,8 +103,12 @@ func main() {
 		"write a crash-safe snapshot of the final state to this file (-algo connectivity, generated or -stream mode)")
 	resumeFile := flag.String("resume", "",
 		"restore state from a -checkpoint snapshot before replaying further updates (requires -stream)")
+	resumeMachines := flag.Int("resume-machines", 0,
+		"with -resume: re-shard the restored state onto a fleet of exactly this many machines before replaying (0 = keep the snapshot's shape)")
 	crashEvery := flag.Int("crash-every", 0,
 		"with -scenario: inject a seeded kill+checkpoint+restore cycle roughly every k batches (0 disables)")
+	faultEvery := flag.Int("fault-every", 0,
+		"with -scenario: kill a seeded machine roughly every k batches; each loss recovers by re-sharding the last checkpoint onto the survivors and replaying the journal (0 disables)")
 	deltaEvery := flag.Int("delta-every", 0,
 		"with -scenario: checkpoint every k batches into an in-memory chain (full base, then deltas), so crash restores replay base+chain (0 disables)")
 	maxDeltaChain := flag.Int("max-delta-chain", 8,
@@ -104,7 +120,7 @@ func main() {
 	// Validate flags before constructing generators or clusters, so a bad
 	// combination is a usage error on stderr, not a raw panic from deep
 	// inside a constructor (e.g. workload.NewQueryMix on n < 2).
-	if err := validateFlags(*n, *batches, *queries, *crashEvery, *deltaEvery, *maxDeltaChain, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
+	if err := validateFlags(*n, *batches, *queries, *crashEvery, *faultEvery, *resumeMachines, *deltaEvery, *maxDeltaChain, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
@@ -115,11 +131,12 @@ func main() {
 	}
 	switch {
 	case *streamFile != "":
-		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *maxDeltaChain, *resumeFile, *checkpointFile)
+		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *maxDeltaChain, *resumeMachines, *resumeFile, *checkpointFile)
 	case *scenario != "":
 		err = runScenario(*algo, *scenario, harness.Options{
 			N: *n, Batches: *batches, Seed: *seed, Phi: *phi, Parallelism: *parallelism,
 			Alpha: *alpha, Eps: *eps, MaxWeight: *maxWeight, CrashEvery: *crashEvery,
+			FaultEvery:      *faultEvery,
 			CheckpointEvery: *deltaEvery, MaxDeltaChain: *maxDeltaChain,
 		})
 	default:
@@ -140,7 +157,7 @@ func main() {
 }
 
 // validateFlags rejects invalid or incoherent flag combinations up front.
-func validateFlags(n, batches, queries, crashEvery, deltaEvery, maxDeltaChain int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
+func validateFlags(n, batches, queries, crashEvery, faultEvery, resumeMachines, deltaEvery, maxDeltaChain int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
 	}
@@ -168,6 +185,18 @@ func validateFlags(n, batches, queries, crashEvery, deltaEvery, maxDeltaChain in
 	}
 	if crashEvery > 0 && scenario == "" {
 		return fmt.Errorf("-crash-every requires -scenario")
+	}
+	if faultEvery < 0 {
+		return fmt.Errorf("-fault-every must be non-negative (got %d)", faultEvery)
+	}
+	if faultEvery > 0 && scenario == "" {
+		return fmt.Errorf("-fault-every requires -scenario")
+	}
+	if resumeMachines < 0 {
+		return fmt.Errorf("-resume-machines must be non-negative (got %d)", resumeMachines)
+	}
+	if resumeMachines > 0 && resumeFile == "" {
+		return fmt.Errorf("-resume-machines requires -resume")
 	}
 	if deltaEvery < 0 {
 		return fmt.Errorf("-delta-every must be non-negative (got %d)", deltaEvery)
@@ -352,8 +381,13 @@ type streamState struct {
 	phi         float64
 	seed        uint64
 	parallelism int
-	dc          *core.DynamicConnectivity
-	mirror      *graph.Graph
+	// vpm is the cluster's VerticesPerMachine override (0 = default shape).
+	// It is part of the meta echo so a resume rebuilds the fleet at the
+	// machine count the checkpoint was cut at — which, after a
+	// -resume-machines re-shard, differs from the config default.
+	vpm    int
+	dc     *core.DynamicConnectivity
+	mirror *graph.Graph
 
 	// pending journals every update applied since the last acknowledged
 	// checkpoint; delta checkpoints ship it instead of the whole mirror.
@@ -366,6 +400,7 @@ func (s *streamState) Checkpoint(e *snapshot.Encoder) {
 	e.Int(s.n)
 	e.F64(s.phi)
 	e.U64(s.seed)
+	e.Int(s.vpm)
 	e.Begin(tagCLIMirror)
 	snapshot.EncodeGraph(e, s.mirror)
 	s.dc.Checkpoint(e)
@@ -378,6 +413,7 @@ func (s *streamState) Checkpoint(e *snapshot.Encoder) {
 func (s *streamState) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagCLIMeta)
 	s.n, s.phi, s.seed = d.Int(), d.F64(), d.U64()
+	s.vpm = d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -390,17 +426,48 @@ func (s *streamState) Restore(d *snapshot.Decoder) error {
 	if s.phi <= 0 || s.phi > 1 {
 		return fmt.Errorf("snapshot declares Phi=%v (want (0,1])", s.phi)
 	}
+	if s.vpm < 0 || s.vpm > s.n {
+		return fmt.Errorf("snapshot declares VerticesPerMachine=%d (want 0..%d)", s.vpm, s.n)
+	}
 	d.Begin(tagCLIMirror)
 	s.mirror = graph.New(s.n)
 	if err := snapshot.DecodeGraphInto(d, s.mirror); err != nil {
 		return err
 	}
 	var err error
-	s.dc, err = core.NewDynamicConnectivity(core.Config{N: s.n, Phi: s.phi, Seed: s.seed, Parallelism: s.parallelism})
+	s.dc, err = core.NewDynamicConnectivity(s.config())
 	if err != nil {
 		return err
 	}
 	return s.dc.Restore(d)
+}
+
+// config is the cluster configuration the state's checkpoints describe.
+func (s *streamState) config() core.Config {
+	return core.Config{N: s.n, Phi: s.phi, Seed: s.seed, Parallelism: s.parallelism, VerticesPerMachine: s.vpm}
+}
+
+// reshard migrates the restored state onto a fleet of exactly machines
+// machines: an in-memory checkpoint of the live instance is re-shard-restored
+// into a fresh fleet at the target shape, which then replaces the instance.
+func (s *streamState) reshard(machines int) error {
+	tcfg, err := core.ResizeConfig(s.config(), machines)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, s.dc); err != nil {
+		return err
+	}
+	fresh, err := core.NewDynamicConnectivity(tcfg)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Reshard(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		return err
+	}
+	s.dc, s.vpm = fresh, tcfg.VerticesPerMachine
+	return nil
 }
 
 // CheckpointDelta implements snapshot.DeltaCheckpointer: the mirror section
@@ -411,6 +478,7 @@ func (s *streamState) CheckpointDelta(e *snapshot.Encoder) {
 	e.Int(s.n)
 	e.F64(s.phi)
 	e.U64(s.seed)
+	e.Int(s.vpm)
 	e.Begin(tagCLIMirrorDelta)
 	snapshot.EncodeUpdates(e, s.pending)
 	s.dc.CheckpointDelta(e)
@@ -421,12 +489,16 @@ func (s *streamState) CheckpointDelta(e *snapshot.Encoder) {
 func (s *streamState) RestoreDelta(d *snapshot.Decoder) error {
 	d.Begin(tagCLIMetaDelta)
 	n, phi, seed := d.Int(), d.F64(), d.U64()
+	vpm := d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if n != s.n || phi != s.phi || seed != s.seed {
 		return fmt.Errorf("delta declares (n=%d, phi=%v, seed=%d), base restored (n=%d, phi=%v, seed=%d)",
 			n, phi, seed, s.n, s.phi, s.seed)
+	}
+	if vpm != s.vpm {
+		return fmt.Errorf("delta written at VerticesPerMachine=%d cannot extend a base restored at %d", vpm, s.vpm)
 	}
 	d.Begin(tagCLIMirrorDelta)
 	if err := snapshot.DecodeUpdatesInto(d, s.mirror); err != nil {
@@ -481,7 +553,7 @@ func resumeState(path string, parallelism, maxDeltaChain int) (*streamState, *sn
 // -checkpoint name the same path, the written checkpoint extends the
 // restored chain as a cheap delta (carrying only the replayed updates and
 // the state they dirtied) instead of rewriting the full snapshot.
-func runStream(algo, path string, phi float64, seed uint64, parallelism, maxDeltaChain int, resumeFile, checkpointFile string) error {
+func runStream(algo, path string, phi float64, seed uint64, parallelism, maxDeltaChain, resumeMachines int, resumeFile, checkpointFile string) error {
 	if algo != "connectivity" {
 		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
 	}
@@ -505,6 +577,17 @@ func runStream(algo, path string, phi float64, seed uint64, parallelism, maxDelt
 			return fmt.Errorf("stream references vertex %d but the resumed snapshot covers [0,%d)", maxV, st.n)
 		}
 		fmt.Printf("resumed %d vertices, %d edges from %s (chain length %d)\n", st.n, st.mirror.M(), resumeFile, chain.Len())
+		if resumeMachines > 0 {
+			was := st.dc.Config().MachineCount()
+			if err := st.reshard(resumeMachines); err != nil {
+				return fmt.Errorf("re-shard onto %d machines: %w", resumeMachines, err)
+			}
+			// The restored chain describes the old shape: re-base it so a
+			// -checkpoint onto the same path writes a fresh full base rather
+			// than a delta extending old-shape containers.
+			chain.Rebase()
+			fmt.Printf("re-sharded %d -> %d machines (VerticesPerMachine=%d)\n", was, resumeMachines, st.vpm)
+		}
 	} else {
 		n := streamio.MaxVertex(batches) + 1
 		if n < 2 {

@@ -93,6 +93,9 @@ func (dc *DynamicConnectivity) Forest() *Forest { return dc.f }
 // Cluster exposes the MPC cluster for metering.
 func (dc *DynamicConnectivity) Cluster() *mpc.Cluster { return dc.f.cl }
 
+// Config returns the instance's configuration.
+func (dc *DynamicConnectivity) Config() Config { return dc.f.cfg }
+
 // MaxBatch returns the largest accepted update batch.
 func (dc *DynamicConnectivity) MaxBatch() int { return dc.f.cfg.MaxBatch() }
 

@@ -20,7 +20,13 @@ import (
 
 // coreCfg builds the standard cluster configuration from the options.
 func (o Options) coreCfg() core.Config {
-	return core.Config{N: o.N, Phi: o.Phi, Seed: o.Seed, Parallelism: o.Parallelism}
+	return core.Config{
+		N:                  o.N,
+		Phi:                o.Phi,
+		Seed:               o.Seed,
+		Parallelism:        o.Parallelism,
+		VerticesPerMachine: o.VerticesPerMachine,
+	}
 }
 
 // VerifyConnectivity cross-checks a dynamic-connectivity instance against
@@ -72,6 +78,12 @@ func (c connectivityInstance) CheckpointDelta(e *snapshot.Encoder)    { c.dc.Che
 func (c connectivityInstance) RestoreDelta(d *snapshot.Decoder) error { return c.dc.RestoreDelta(d) }
 func (c connectivityInstance) AckCheckpoint()                         { c.dc.AckCheckpoint() }
 
+// ... and elastic re-sharding (harness.Elastic, Options.FaultEvery).
+func (c connectivityInstance) Machines() int { return c.dc.Cluster().Machines() }
+func (c connectivityInstance) ReshardRestore(d *snapshot.Decoder) error {
+	return c.dc.ReshardRestore(d)
+}
+
 type bipartiteInstance struct{ t *bipartite.Tester }
 
 func (b bipartiteInstance) MaxBatch() int                     { return b.t.MaxBatch() }
@@ -95,6 +107,10 @@ func (e exactMSFInstance) MaxBatch() int                     { return e.m.Forest
 func (e exactMSFInstance) Rounds() int                       { return e.m.Forest().Cluster().Stats().Rounds }
 func (e exactMSFInstance) Checkpoint(enc *snapshot.Encoder)  { e.m.Checkpoint(enc) }
 func (e exactMSFInstance) Restore(d *snapshot.Decoder) error { return e.m.Restore(d) }
+func (e exactMSFInstance) Machines() int                     { return e.m.Forest().Cluster().Machines() }
+func (e exactMSFInstance) ReshardRestore(d *snapshot.Decoder) error {
+	return e.m.ReshardRestore(d)
+}
 func (e exactMSFInstance) Apply(b graph.Batch) error {
 	edges := make([]graph.WeightedEdge, 0, len(b))
 	for _, u := range b {
@@ -136,6 +152,10 @@ func (a approxMSFInstance) Apply(b graph.Batch) error         { return a.a.Apply
 func (a approxMSFInstance) Rounds() int                       { return -1 }
 func (a approxMSFInstance) Checkpoint(e *snapshot.Encoder)    { a.a.Checkpoint(e) }
 func (a approxMSFInstance) Restore(d *snapshot.Decoder) error { return a.a.Restore(d) }
+func (a approxMSFInstance) Machines() int                     { return a.a.Machines() }
+func (a approxMSFInstance) ReshardRestore(d *snapshot.Decoder) error {
+	return a.a.ReshardRestore(d)
+}
 func (a approxMSFInstance) Check(g *graph.Graph) error {
 	_, want := oracle.MSF(g)
 	if want == 0 {
@@ -167,6 +187,10 @@ func (g greedyMatchingInstance) MaxBatch() int                     { return 8 }
 func (g greedyMatchingInstance) Rounds() int                       { return g.gm.Cluster().Stats().Rounds }
 func (g greedyMatchingInstance) Checkpoint(e *snapshot.Encoder)    { g.gm.Checkpoint(e) }
 func (g greedyMatchingInstance) Restore(d *snapshot.Decoder) error { return g.gm.Restore(d) }
+func (g greedyMatchingInstance) Machines() int                     { return g.gm.Cluster().Machines() }
+func (g greedyMatchingInstance) ReshardRestore(d *snapshot.Decoder) error {
+	return g.gm.ReshardRestore(d)
+}
 func (g greedyMatchingInstance) Apply(b graph.Batch) error {
 	edges := make([]graph.Edge, 0, len(b))
 	for _, u := range b {
@@ -287,7 +311,7 @@ func init() {
 		Name:       "matching",
 		InsertOnly: true,
 		New: func(opt Options) (Instance, error) {
-			gm, err := matching.NewGreedyInsertOnly(opt.N, opt.Alpha, 0)
+			gm, err := matching.NewGreedyInsertOnly(opt.N, opt.Alpha, opt.VerticesPerMachine)
 			if err != nil {
 				return nil, err
 			}

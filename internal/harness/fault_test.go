@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// elasticAlgos are the algorithms whose state can migrate across machine
+// counts (harness.Elastic); the fault-recovery guarantee is asserted for
+// every one of them over every compatible scenario.
+var elasticAlgos = []string{"connectivity", "msf", "approxmsf", "matching"}
+
+// faultOptions is the shared shape for the twin comparison: a pinned
+// initial cluster (7 machines) with a pinned batch size, so the faulted
+// run and its uninterrupted twin consume bit-identical streams regardless
+// of their (different) machine counts.
+func faultOptions(par int) Options {
+	return Options{
+		N: 48, Batches: 12, BatchSize: 4, Seed: 1, Parallelism: par,
+		VerticesPerMachine: 8,
+		FaultEvery:         3,
+	}
+}
+
+// fingerprint renders the machine-count-independent solution state of an
+// elastic instance: component labels, forest edges and query answers for
+// connectivity, the maintained forest and weight for the MSF pair, the
+// match set for greedy matching. MPC Stats are deliberately excluded —
+// a recovered run spends extra rounds on the replay.
+func fingerprint(t *testing.T, inst Instance) string {
+	t.Helper()
+	switch v := inst.(type) {
+	case connectivityInstance:
+		n := v.dc.Config().N
+		pairs := make([]core.Pair, 0, 2*n)
+		for i := 0; i+1 < n; i++ {
+			pairs = append(pairs, core.Pair{U: i, V: i + 1}, core.Pair{U: 0, V: i + 1})
+		}
+		forest := v.dc.SnapshotForest()
+		sort.Slice(forest, func(i, j int) bool {
+			return forest[i].ID(n) < forest[j].ID(n)
+		})
+		return fmt.Sprintf("comp=%v forest=%v conn=%v",
+			v.dc.SnapshotComponents(), forest, v.dc.ConnectedAll(pairs))
+	case exactMSFInstance:
+		forest := v.m.Snapshot()
+		sort.Slice(forest, func(i, j int) bool {
+			return forest[i].ID(v.m.Forest().Config().N) < forest[j].ID(v.m.Forest().Config().N)
+		})
+		return fmt.Sprintf("weight=%d forest=%v", v.m.Weight(), forest)
+	case approxMSFInstance:
+		return fmt.Sprintf("weight=%d forestweight=%d", v.a.Weight(), v.a.ForestWeight())
+	case greedyMatchingInstance:
+		m := v.gm.Matching()
+		sort.Slice(m, func(i, j int) bool { return m[i].ID(48) < m[j].ID(48) })
+		return fmt.Sprintf("size=%d matching=%v", v.gm.Size(), m)
+	}
+	t.Fatalf("no fingerprint for instance type %T", inst)
+	return ""
+}
+
+// TestFaultReshardTwinBitIdentical is the machine-loss acceptance
+// criterion: for every elastic algorithm over every compatible scenario,
+// a run that loses machines mid-stream (each loss recovered by re-sharding
+// the last checkpoint onto the surviving fleet and replaying the journal)
+// must end with a solution bit-identical to an uninterrupted twin run at
+// the surviving machine count — at parallelism 1 and 8, with the
+// brute-force oracle checking both runs batch by batch.
+func TestFaultReshardTwinBitIdentical(t *testing.T) {
+	for _, name := range elasticAlgos {
+		algo, err := GetAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scenario := range workload.Names() {
+			sc, err := workload.Get(scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Compatible(algo, sc) != nil {
+				continue
+			}
+			for _, par := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, scenario, par), func(t *testing.T) {
+					opt := faultOptions(par)
+					inst, cur, rep, err := runScenario(algo, sc, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Faults == 0 {
+						t.Fatalf("fault schedule fired 0 times over %d batches: %s", rep.Batches, rep)
+					}
+					if rep.Reshards != rep.Faults {
+						t.Fatalf("%d faults but %d reshards: %s", rep.Faults, rep.Reshards, rep)
+					}
+					if rep.ReplayedBatches < rep.Faults {
+						t.Fatalf("%d faults replayed only %d batches: %s", rep.Faults, rep.ReplayedBatches, rep)
+					}
+					if cur.VerticesPerMachine <= opt.VerticesPerMachine {
+						t.Fatalf("fleet never shrank: VerticesPerMachine %d -> %d", opt.VerticesPerMachine, cur.VerticesPerMachine)
+					}
+					twinOpt := opt
+					twinOpt.FaultEvery = 0
+					twinOpt.VerticesPerMachine = cur.VerticesPerMachine
+					twin, _, twinRep, err := runScenario(algo, sc, twinOpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if twinRep.Batches != rep.Batches || twinRep.Updates != rep.Updates {
+						t.Fatalf("streams diverged: faulted %d batches/%d updates, twin %d/%d",
+							rep.Batches, rep.Updates, twinRep.Batches, twinRep.Updates)
+					}
+					got, want := fingerprint(t, inst), fingerprint(t, twin)
+					if got != want {
+						t.Errorf("solution differs from uninterrupted twin at %d vertices/machine:\n  faulted: %s\n  twin:    %s",
+							cur.VerticesPerMachine, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultRequiresElastic pins the configuration error: algorithms
+// without re-sharding support must reject FaultEvery up front.
+func TestFaultRequiresElastic(t *testing.T) {
+	_, err := Run("nowickionak", "bursty", Options{N: 32, Batches: 4, FaultEvery: 2})
+	if err == nil {
+		t.Fatal("FaultEvery accepted by an algorithm without elastic re-sharding")
+	}
+}
+
+// TestFaultWithCrashAndCheckpoint runs all three failure decorations at
+// once — periodic checkpoints, process crashes, machine faults — and
+// demands the oracle checks keep passing while the chain is re-based
+// across cluster shapes.
+func TestFaultWithCrashAndCheckpoint(t *testing.T) {
+	rep, err := Run("connectivity", "churn", Options{
+		N: 48, Batches: 16, BatchSize: 4, Seed: 5,
+		VerticesPerMachine: 8,
+		FaultEvery:         8, CrashEvery: 5, CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == 0 || rep.Crashes == 0 {
+		t.Fatalf("decorations did not all fire: %s", rep)
+	}
+	if rep.Checks == 0 {
+		t.Fatalf("no oracle checks ran: %s", rep)
+	}
+}

@@ -76,6 +76,22 @@ type Options struct {
 	CheckpointEvery int
 	// MaxDeltaChain bounds the delta chain before compaction (default 8).
 	MaxDeltaChain int
+	// FaultEvery > 0 decorates the run with machine-loss injection: at
+	// seeded batch indices (one fault per FaultEvery batches on average,
+	// drawn from workload.NewMachineFaultSchedule) one MPC machine dies
+	// while a batch is in flight. The poisoned batch is discarded, the
+	// last checkpoint is restored re-sharded onto a fleet one machine
+	// smaller (see snapshot.Reshard), and every batch applied since that
+	// checkpoint — including the in-flight one — is replayed. Requires the
+	// algorithm to implement Elastic. Results and oracle checks are
+	// identical to an uninterrupted run at the surviving machine count.
+	FaultEvery int
+	// FaultSeed seeds the machine-fault schedule (default Seed+5).
+	FaultSeed uint64
+	// VerticesPerMachine pins the initial cluster shape of cluster-backed
+	// algorithms (0 = derived from Phi, or each algorithm's default);
+	// machine-fault recovery shrinks it as the fleet loses machines.
+	VerticesPerMachine int
 }
 
 // withDefaults fills unset fields.
@@ -103,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CrashSeed == 0 {
 		o.CrashSeed = o.Seed + 3
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = o.Seed + 5
 	}
 	if o.MaxDeltaChain == 0 {
 		o.MaxDeltaChain = 8
@@ -140,6 +159,20 @@ type finalChecker interface {
 type Checkpointable interface {
 	snapshot.Checkpointer
 	snapshot.Restorer
+}
+
+// Elastic is the optional Instance extension for machine-loss recovery
+// (Options.FaultEvery): an elastic instance reports its cluster size and
+// can load a full checkpoint written at a different machine count,
+// redistributing the state onto its own fleet. The cluster-backed
+// algorithms with per-vertex sharded state (connectivity, the MSF pair,
+// greedy matching) implement it.
+type Elastic interface {
+	Checkpointable
+	snapshot.ReshardRestorer
+	// Machines returns the instance's MPC machine count (including the
+	// coordinator).
+	Machines() int
 }
 
 // Algorithm is a registry entry: a named dynamic algorithm plus the
@@ -218,6 +251,11 @@ type Report struct {
 	// FullCheckpoints and DeltaCheckpoints count the checkpoint containers
 	// written by kind (crash-instant and CheckpointEvery combined).
 	FullCheckpoints, DeltaCheckpoints int
+	// Faults counts the injected machine losses (Options.FaultEvery),
+	// Reshards the snapshot-driven state migrations that recovered from
+	// them, and ReplayedBatches the batches re-applied during recovery
+	// (everything since the last checkpoint plus the in-flight batch).
+	Faults, Reshards, ReplayedBatches int
 }
 
 // String renders the report in one line.
@@ -229,6 +267,10 @@ func (r *Report) String() string {
 	crashes := ""
 	if r.Crashes > 0 {
 		crashes = fmt.Sprintf(", %d crash/restore cycles", r.Crashes)
+	}
+	if r.Faults > 0 {
+		crashes += fmt.Sprintf(", %d machine faults (%d reshards, %d batches replayed)",
+			r.Faults, r.Reshards, r.ReplayedBatches)
 	}
 	return fmt.Sprintf("%s over %s: %d batches, %d updates, %d edges final, %d checks passed, %s rounds%s",
 		r.Algorithm, r.Scenario, r.Batches, r.Updates, r.FinalEdges, r.Checks, rounds, crashes)
@@ -252,75 +294,118 @@ func Run(algoName, scenarioName string, opt Options) (*Report, error) {
 
 // RunScenario is Run for already-resolved registry entries.
 func RunScenario(algo Algorithm, sc workload.Scenario, opt Options) (*Report, error) {
+	_, _, rep, err := runScenario(algo, sc, opt)
+	return rep, err
+}
+
+// runScenario is the engine behind RunScenario; it additionally returns
+// the final live instance and the final options (whose VerticesPerMachine
+// reflects any fault-driven shrinks), which the fault-recovery tests use
+// to compare a faulted run against an uninterrupted twin at the surviving
+// fleet shape.
+func runScenario(algo Algorithm, sc workload.Scenario, opt Options) (Instance, Options, *Report, error) {
 	if err := Compatible(algo, sc); err != nil {
-		return nil, err
+		return nil, opt, nil, err
 	}
 	opt = opt.withDefaults()
 	inst, err := algo.New(opt)
 	if err != nil {
-		return nil, err
+		return nil, opt, nil, err
 	}
 	var crash *workload.CrashSchedule
+	var fault *workload.MachineFaultSchedule
 	var chain *memChain
-	if opt.CrashEvery > 0 || opt.CheckpointEvery > 0 {
+	if opt.CrashEvery > 0 || opt.CheckpointEvery > 0 || opt.FaultEvery > 0 {
 		if _, ok := inst.(Checkpointable); !ok {
-			return nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery/CheckpointEvery)", algo.Name)
+			return nil, opt, nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery/CheckpointEvery/FaultEvery)", algo.Name)
 		}
 		chain = &memChain{maxDeltas: opt.MaxDeltaChain}
 	}
 	if opt.CrashEvery > 0 {
 		crash = workload.NewCrashSchedule(opt.CrashSeed, opt.CrashEvery)
 	}
+	if opt.FaultEvery > 0 {
+		if _, ok := inst.(Elastic); !ok {
+			return nil, opt, nil, fmt.Errorf("harness: %s does not support elastic re-sharding (FaultEvery)", algo.Name)
+		}
+		fault = workload.NewMachineFaultSchedule(opt.FaultSeed, opt.FaultEvery)
+	}
 	gen := sc.New(opt.N, opt.Seed+1)
 	size := inst.MaxBatch()
 	if opt.BatchSize > 0 && opt.BatchSize < size {
 		size = opt.BatchSize
 	}
+	// cur tracks the live cluster shape: machine-fault recovery shrinks
+	// VerticesPerMachine, and every rebuild (crash or fault) must use the
+	// current shape, not the original one. pending journals the batches
+	// applied since the last checkpoint — the replay set of a fault.
+	cur := opt
+	var pending []graph.Batch
 	rep := &Report{Algorithm: algo.Name, Scenario: sc.Name, Rounds: -1}
 	for i := 0; i < opt.Batches; i++ {
 		b := gen.Next(size)
 		if len(b) == 0 {
 			continue // stalled (e.g. saturated insert-only stream)
 		}
+		if fault != nil {
+			if _, dead := fault.Fault(inst.(Elastic).Machines()); dead {
+				// The machine died while batch i was in flight: the
+				// poisoned batch never lands on the old fleet. Recovery
+				// re-shards the last checkpoint onto the survivors and
+				// replays pending; batch i itself is replayed by the
+				// Apply below, on the recovered instance.
+				inst, cur, err = faultReshard(algo, cur, chain, pending, rep)
+				if err != nil {
+					return nil, cur, nil, fmt.Errorf("harness: %s over %s: machine fault at batch %d: %w", algo.Name, sc.Name, i, err)
+				}
+				pending = pending[:0]
+				rep.ReplayedBatches++ // the in-flight batch
+			}
+		}
 		if err := inst.Apply(b); err != nil {
-			return nil, fmt.Errorf("harness: %s over %s: batch %d: %w", algo.Name, sc.Name, i, err)
+			return nil, cur, nil, fmt.Errorf("harness: %s over %s: batch %d: %w", algo.Name, sc.Name, i, err)
+		}
+		if fault != nil {
+			pending = append(pending, append(graph.Batch(nil), b...))
 		}
 		rep.Batches++
 		rep.Updates += len(b)
 		if opt.CheckEvery > 0 && (i+1)%opt.CheckEvery == 0 {
 			if err := inst.Check(gen.Mirror()); err != nil {
-				return nil, fmt.Errorf("harness: %s over %s diverged at batch %d: %w", algo.Name, sc.Name, i, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at batch %d: %w", algo.Name, sc.Name, i, err)
 			}
 			rep.Checks++
 		}
 		if opt.CheckpointEvery > 0 && (i+1)%opt.CheckpointEvery == 0 {
 			if err := chain.checkpoint(inst, rep); err != nil {
-				return nil, fmt.Errorf("harness: %s over %s: checkpoint at batch %d: %w", algo.Name, sc.Name, i, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s: checkpoint at batch %d: %w", algo.Name, sc.Name, i, err)
 			}
+			pending = pending[:0]
 		}
 		if crash != nil && crash.Crash() {
-			inst, err = killRestore(algo, opt, inst, chain, rep)
+			inst, err = killRestore(algo, cur, inst, chain, rep)
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, sc.Name, i, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, sc.Name, i, err)
 			}
 			rep.Crashes++
+			pending = pending[:0]
 		}
 	}
 	if opt.CheckEvery >= 0 {
 		if err := inst.Check(gen.Mirror()); err != nil {
-			return nil, fmt.Errorf("harness: %s over %s diverged at end of stream: %w", algo.Name, sc.Name, err)
+			return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at end of stream: %w", algo.Name, sc.Name, err)
 		}
 		rep.Checks++
 		if fc, ok := inst.(finalChecker); ok {
 			if err := fc.FinalCheck(gen.Mirror()); err != nil {
-				return nil, fmt.Errorf("harness: %s over %s failed the final check: %w", algo.Name, sc.Name, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s failed the final check: %w", algo.Name, sc.Name, err)
 			}
 			rep.Checks++
 		}
 	}
 	rep.FinalEdges = gen.Mirror().M()
 	rep.Rounds = inst.Rounds()
-	return rep, nil
+	return inst, cur, rep, nil
 }
 
 // memChain is the harness's in-memory checkpoint chain: a full base
@@ -368,6 +453,15 @@ func (c *memChain) checkpoint(inst Instance, rep *Report) error {
 	return nil
 }
 
+// reset drops the chain; the next checkpoint writes a fresh full base.
+// Fault recovery uses it because the old links describe a cluster shape
+// that no longer exists.
+func (c *memChain) reset() {
+	c.base.Reset()
+	c.deltas = nil
+	c.baseID, c.tipID = 0, 0
+}
+
 // restore loads base + chain into inst.
 func (c *memChain) restore(inst Instance) error {
 	if _, err := snapshot.LoadBase(bytes.NewReader(c.base.Bytes()), inst.(Checkpointable)); err != nil {
@@ -402,4 +496,56 @@ func killRestore(algo Algorithm, opt Options, inst Instance, chain *memChain, re
 		return nil, err
 	}
 	return fresh, nil
+}
+
+// faultReshard recovers from the loss of one machine, the supervised path
+// described in Options.FaultEvery. Unlike a crash, the dying fleet cannot
+// be checkpointed — its last round is poisoned — so recovery starts from
+// the last durable checkpoint: restore the whole chain into a staging
+// instance at the failed fleet's shape, re-encode it as one full snapshot,
+// reshard that onto a fleet one machine smaller, replay the journaled
+// batches, and re-base the checkpoint chain at the new shape. Returns the
+// recovered instance and the shrunken options.
+func faultReshard(algo Algorithm, cur Options, chain *memChain, pending []graph.Batch, rep *Report) (Instance, Options, error) {
+	staging, err := algo.New(cur)
+	if err != nil {
+		return nil, cur, fmt.Errorf("staging rebuild: %w", err)
+	}
+	if chain.base.Len() > 0 {
+		if err := chain.restore(staging); err != nil {
+			return nil, cur, err
+		}
+	}
+	var full bytes.Buffer
+	if err := snapshot.Save(&full, staging.(Checkpointable)); err != nil {
+		return nil, cur, fmt.Errorf("re-encode: %w", err)
+	}
+	machines := staging.(Elastic).Machines()
+	if machines < 3 {
+		return nil, cur, fmt.Errorf("fleet of %d machines cannot lose one and keep a coordinator", machines)
+	}
+	next := cur
+	// ceil(N/(M-2)) vertices per machine packs the N vertices onto the
+	// surviving M-1 machines (one of which stays a pure coordinator).
+	next.VerticesPerMachine = (cur.N + machines - 3) / (machines - 2)
+	fresh, err := algo.New(next)
+	if err != nil {
+		return nil, cur, fmt.Errorf("rebuild on %d machines: %w", machines-1, err)
+	}
+	if err := snapshot.Reshard(bytes.NewReader(full.Bytes()), fresh.(Elastic)); err != nil {
+		return nil, cur, fmt.Errorf("reshard onto %d machines: %w", machines-1, err)
+	}
+	for j, b := range pending {
+		if err := fresh.Apply(b); err != nil {
+			return nil, cur, fmt.Errorf("replay batch %d of %d: %w", j+1, len(pending), err)
+		}
+	}
+	rep.Faults++
+	rep.Reshards++
+	rep.ReplayedBatches += len(pending)
+	chain.reset()
+	if err := chain.checkpoint(fresh, rep); err != nil {
+		return nil, cur, fmt.Errorf("re-base checkpoint: %w", err)
+	}
+	return fresh, next, nil
 }

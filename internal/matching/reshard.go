@@ -1,0 +1,83 @@
+package matching
+
+// Elastic re-sharding of the greedy matching (see core/reshard.go for the
+// scheme): match pointers are per-vertex logical state, so a checkpoint
+// written at any machine count is decoded into a flat per-vertex image and
+// re-sliced onto the target's contiguous vertex ranges. The cap and size
+// are machine-count-independent coordinator state.
+
+import (
+	"fmt"
+
+	"repro/internal/mpc"
+	"repro/internal/snapshot"
+)
+
+// ReshardRestore loads a greedy-matching checkpoint written at any machine
+// count into this freshly constructed instance. Validation (n, cap, shard
+// layout, partner ranges) completes before any state is touched.
+func (g *GreedyInsertOnly) ReshardRestore(d *snapshot.Decoder) error {
+	d.Begin(tagGreedy)
+	n, capSize, mach := d.Int(), d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != g.n || capSize != g.cap {
+		return fmt.Errorf("matching: reshard of snapshot with (n=%d, cap=%d) into (n=%d, cap=%d)", n, capSize, g.n, g.cap)
+	}
+	if mach < 2 {
+		return fmt.Errorf("matching: snapshot claims %d machines (corrupt)", mach)
+	}
+	size := d.Int()
+	st := snapshot.DecodeClusterStats(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	srcPart := mpc.Partition{N: n, Machines: mach - 1}
+	flat := make([]int, n)
+	for i := 0; i < mach; i++ {
+		d.Begin(tagGreedyShard)
+		id := d.Int()
+		hasShard := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id != i {
+			return fmt.Errorf("matching: shard section for machine %d where %d was expected", id, i)
+		}
+		if hasShard != (i != mach-1) {
+			return fmt.Errorf("matching: snapshot machine %d of %d disagrees with the coordinator-last layout", i, mach)
+		}
+		if !hasShard {
+			continue
+		}
+		lo, hi := d.Int(), d.Int()
+		match := d.Ints()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		wantLo, wantHi := srcPart.Range(i)
+		if lo != wantLo || hi != wantHi || len(match) != hi-lo {
+			return fmt.Errorf("matching: snapshot shard %d shape mismatch", i)
+		}
+		for _, p := range match {
+			if p < -1 || p >= g.n {
+				return fmt.Errorf("matching: snapshot shard %d holds invalid match partner %d", i, p)
+			}
+		}
+		copy(flat[lo:hi], match)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.size = size
+	g.cl.RestoreStats(st)
+	g.cl.LocalAll(func(mm *mpc.Machine) {
+		sh, ok := mm.Get(slotShard).(*greedyShard)
+		if !ok {
+			return
+		}
+		copy(sh.match, flat[sh.lo:sh.hi])
+	})
+	return nil
+}

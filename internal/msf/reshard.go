@@ -1,0 +1,58 @@
+package msf
+
+// Elastic re-sharding of the MSF structures (see core/reshard.go): the
+// driver-level counters are machine-count-independent and the underlying
+// forest / connectivity instances re-shard themselves. On any error the
+// target instance must be discarded; a memory-cap rejection surfaced by the
+// first (or only) underlying instance leaves the target untouched.
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// ReshardRestore loads an exact-MSF checkpoint written at any machine count
+// into this freshly constructed instance.
+func (m *ExactMSF) ReshardRestore(d *snapshot.Decoder) error {
+	d.Begin(tagExactMSF)
+	swapWaves := d.Int()
+	weight := d.I64()
+	weightOK := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := m.f.ReshardRestore(d); err != nil {
+		return err
+	}
+	m.swapWaves, m.weight, m.weightOK = swapWaves, weight, weightOK
+	return nil
+}
+
+// Machines returns the machine count of the per-level clusters (identical
+// across levels, which are built from one core.Config).
+func (a *ApproxMSFWeight) Machines() int { return a.levels[0].Cluster().Machines() }
+
+// ReshardRestore loads an approximate-MSF-weight checkpoint written at any
+// machine count, re-sharding every level's connectivity instance.
+func (a *ApproxMSFWeight) ReshardRestore(d *snapshot.Decoder) error {
+	d.Begin(tagApproxMSF)
+	n := d.Int()
+	eps := d.F64()
+	levels := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != a.n || eps != a.eps {
+		return fmt.Errorf("msf: reshard of snapshot with (n=%d, eps=%v) into (n=%d, eps=%v)", n, eps, a.n, a.eps)
+	}
+	if levels != len(a.levels) {
+		return fmt.Errorf("msf: reshard of snapshot with %d levels into %d", levels, len(a.levels))
+	}
+	for _, dc := range a.levels {
+		if err := dc.ReshardRestore(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryClient wraps an http.Client with bounded retries on backpressure
+// responses: 429 (update queue full) and 503 (instance quiesced for a
+// checkpoint or resize) are retried, honoring the server's Retry-After
+// header when present and falling back to capped exponential backoff
+// otherwise. Any other response — success or failure — is returned to the
+// caller on the first attempt.
+//
+// Requests with a body must be replayable: Do rebuilds the body between
+// attempts via req.GetBody, which http.NewRequest sets automatically for
+// *bytes.Buffer, *bytes.Reader, and *strings.Reader bodies.
+type RetryClient struct {
+	// Client is the underlying HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// MaxAttempts bounds the total attempts, including the first (default 8).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms); each retry without
+	// a Retry-After hint doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps every wait, hinted or not (default 2s) — a soak driver
+	// should keep pressing rather than idle out a long server estimate.
+	MaxDelay time.Duration
+	// Sleep is a test hook for the waits (time.Sleep when nil).
+	Sleep func(time.Duration)
+}
+
+func (c *RetryClient) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+func (c *RetryClient) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *RetryClient) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// retryable reports whether a status is a transient backpressure signal.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// Do sends req, retrying backpressure responses as described on RetryClient.
+// It returns the last response (the caller owns its body) or the first
+// transport error.
+func (c *RetryClient) Do(req *http.Request) (*http.Response, error) {
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if req.Body != nil && req.GetBody == nil {
+		return nil, fmt.Errorf("server: RetryClient needs a replayable body (req.GetBody is nil)")
+	}
+	backoff := c.baseDelay()
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryable(resp.StatusCode) || attempt == c.attempts() {
+			return resp, nil
+		}
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		} else {
+			backoff *= 2
+		}
+		if wait > c.maxDelay() {
+			wait = c.maxDelay()
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("server: RetryClient rebuilding request body: %w", err)
+			}
+			req.Body = body
+		}
+		sleep(wait)
+	}
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestServerElasticSoak is the elastic-soak CI driver: a 200-batch powerlaw
+// stream at parallelism 8 with a live resize — up, down, up — every ~50
+// batches, readers and healthz probes hammering throughout (so the quiesce
+// windows run under the race detector), and the final state bit-identical
+// to an uninterrupted in-process twin. Writers go through RetryClient, so
+// backpressure and quiesce 503s are absorbed by the client contract rather
+// than ad-hoc loops.
+func TestServerElasticSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic soak skipped in -short mode")
+	}
+	const (
+		n           = 64
+		batches     = 200
+		batchSize   = 2  // fits MaxBatch at every shape visited
+		resizeEvery = 50 // resize after batches 50, 100, 150
+		readerCount = 6
+	)
+	// Shapes the soak cycles through (all realizable at N=64): grow to 9
+	// machines, shrink to 5, grow to 9 again.
+	shapes := []int{9, 5, 9}
+	cfg := Config{
+		Instances: 1, N: n, Phi: 0.6, Seed: 11, Parallelism: 8, QueueDepth: 8,
+		CheckpointDir: t.TempDir(),
+	}
+	sc, err := workload.Get("powerlaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sc.New(n, 12)
+	stream := make([]graph.Batch, batches)
+	for i := range stream {
+		stream[i] = append(graph.Batch(nil), gen.Next(batchSize)...)
+	}
+
+	twin, err := core.NewDynamicConnectivity(core.Config{
+		N: n, Phi: cfg.Phi, Seed: cfg.Seed, Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range stream {
+		if err := twin.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, ts := newTestServer(t, cfg)
+	rc := &RetryClient{
+		Client:      ts.Client(),
+		MaxAttempts: 200,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    5 * time.Millisecond,
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	var healthOK, healthBusy atomic.Uint64
+	queryPairs := [][2]int{{0, 1}, {0, n - 1}, {3, 9}, {5, 17}, {20, 40}}
+	readers.Add(readerCount)
+	for r := 0; r < readerCount; r++ {
+		go func(id int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if id%2 == 0 {
+					resp, err := http.Get(ts.URL + "/instances/0/healthz")
+					if err != nil {
+						continue
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						healthOK.Add(1)
+					case http.StatusServiceUnavailable:
+						healthBusy.Add(1)
+					default:
+						t.Errorf("healthz returned %d", resp.StatusCode)
+						return
+					}
+				} else {
+					resp, err := postRetry(rc, ts.URL+"/instances/0/query", QueryRequest{Pairs: queryPairs})
+					if err != nil {
+						t.Errorf("reader %d: %v", id, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("reader %d: query status %d", id, resp.StatusCode)
+						return
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(r)
+	}
+
+	resizes := 0
+	for i, b := range stream {
+		resp, err := postRetry(rc, ts.URL+"/instances/0/updates", wireRequest(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+		}
+		if (i+1)%resizeEvery == 0 && resizes < len(shapes) {
+			waitDrained(t, srv.insts[0])
+			target := shapes[resizes]
+			resp, err := postRetry(rc, fmt.Sprintf("%s/instances/0/resize?machines=%d", ts.URL, target), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ack := decodeJSON[ResizeResponse](t, resp)
+			if ack.Machines != target {
+				t.Fatalf("resize %d: fleet has %d machines, want %d", resizes, ack.Machines, target)
+			}
+			resizes++
+		}
+	}
+	waitDrained(t, srv.insts[0])
+	close(done)
+	readers.Wait()
+	if t.Failed() {
+		t.Fatal("client errors during the soak; skipping verification")
+	}
+	t.Logf("elastic soak: %d resizes, healthz %d ready / %d quiesced", resizes, healthOK.Load(), healthBusy.Load())
+	if healthOK.Load() == 0 {
+		t.Error("healthz never reported ready during the soak")
+	}
+
+	// Final state must match the uninterrupted twin bit-identically — warm
+	// (second pass) included.
+	want := twin.ConnectedAll(toCorePairs(queryPairs))
+	for pass := 0; pass < 2; pass++ {
+		resp := postJSON(t, ts.URL+"/instances/0/query", QueryRequest{Pairs: queryPairs})
+		q := decodeJSON[QueryResponse](t, resp)
+		for j := range want {
+			if q.Connected[j] != want[j] {
+				t.Errorf("pass %d pair %v: server %v, twin %v", pass, queryPairs[j], q.Connected[j], want[j])
+			}
+		}
+		if comps := twin.NumComponents(); q.Components != comps {
+			t.Errorf("pass %d: %d components, twin has %d", pass, q.Components, comps)
+		}
+	}
+	body := scrapeMetrics(t, ts)
+	if got := sumMetric(t, body, "mpcserve_reshard_total"); got != uint64(resizes) {
+		t.Errorf("mpcserve_reshard_total = %d, want %d", got, resizes)
+	}
+	if got := sumMetric(t, body, "mpcserve_cluster_machines"); got != uint64(shapes[len(shapes)-1]) {
+		t.Errorf("mpcserve_cluster_machines = %d, want %d", got, shapes[len(shapes)-1])
+	}
+}
+
+// postRetry sends one JSON POST through the RetryClient (nil body allowed).
+func postRetry(rc *RetryClient, url string, body any) (*http.Response, error) {
+	var rdr *bytes.Reader
+	if body == nil {
+		rdr = bytes.NewReader(nil)
+	} else {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest("POST", url, rdr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rc.Do(req)
+}
+
+// wireRequest renders a batch as the updates wire form.
+func wireRequest(b graph.Batch) UpdateRequest {
+	req := UpdateRequest{Updates: make([]WireUpdate, len(b))}
+	for j, up := range b {
+		req.Updates[j] = WireUpdate{Op: up.Op.String(), U: up.Edge.U, V: up.Edge.V, Weight: up.Weight}
+	}
+	return req
+}

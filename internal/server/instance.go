@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -77,9 +79,24 @@ type instance struct {
 
 	// mu is the instance's single-writer/many-reader contract lock: the
 	// applier applies batches under Lock, handlers answer queries under
-	// RLock (see the core query engine's concurrency contract).
+	// RLock (see the core query engine's concurrency contract). dc is an
+	// atomic pointer because an elastic resize swaps in a fresh fleet
+	// (holding both adm and mu) while lock-free paths — MaxBatch sizing in
+	// admission, metric scrapes — read it concurrently.
 	mu sync.RWMutex
-	dc *core.DynamicConnectivity
+	dc atomic.Pointer[core.DynamicConnectivity]
+
+	// vpm is the live VerticesPerMachine override (0 = the config default
+	// shape). It tracks dc across resizes and is persisted in every
+	// checkpoint's meta echo so a restart rebuilds the fleet at the shape
+	// the snapshot was cut at. cfg itself stays immutable — handlers read
+	// cfg.N without locks.
+	vpm atomic.Int64
+
+	// quiesced is true while admission is deliberately paused (a quiesced
+	// checkpoint or a resize); per-instance readiness reports 503 for its
+	// duration so load balancers steer around the pause.
+	quiesced atomic.Bool
 
 	wg      sync.WaitGroup
 	failure atomic.Pointer[applyFailure]
@@ -94,6 +111,13 @@ type instance struct {
 	applyNanos      atomic.Int64
 	applyCount      atomic.Uint64
 	applyBuckets    [len(latencyBuckets) + 1]atomic.Uint64
+	// drainEWMA tracks the smoothed per-batch apply time (nanoseconds); the
+	// 429 path scales its Retry-After hint by it so clients back off in
+	// proportion to how fast the queue actually drains.
+	drainEWMA atomic.Int64
+	// Elastic resize metrics.
+	reshardCount atomic.Uint64
+	reshardNanos atomic.Int64
 	// Checkpoint metrics, split by container kind (full vs delta).
 	ckptFullCount  atomic.Uint64
 	ckptFullBytes  atomic.Uint64
@@ -119,8 +143,9 @@ func newInstance(id int, cfg core.Config, queueDepth int) (*instance, error) {
 		accepting: true,
 		mirror:    graph.New(cfg.N),
 		queue:     make(chan graph.Batch, queueDepth),
-		dc:        dc,
 	}
+	in.dc.Store(dc)
+	in.vpm.Store(int64(cfg.VerticesPerMachine))
 	in.pendCond = sync.NewCond(&in.pendMu)
 	in.wg.Add(1)
 	go in.applier()
@@ -137,8 +162,9 @@ func (in *instance) applier() {
 	for b := range in.queue {
 		start := time.Now()
 		in.mu.Lock()
-		err := in.dc.ApplyBatch(b)
-		rounds := in.dc.Cluster().Stats().Rounds
+		dc := in.dc.Load()
+		err := dc.ApplyBatch(b)
+		rounds := dc.Cluster().Stats().Rounds
 		in.mu.Unlock()
 		in.observeApply(time.Since(start))
 		in.rounds.Store(int64(rounds))
@@ -155,10 +181,16 @@ func (in *instance) applier() {
 	}
 }
 
-// observeApply records one batch-apply latency sample.
+// observeApply records one batch-apply latency sample and folds it into the
+// drain-rate estimate (an EWMA with a 1/8 step).
 func (in *instance) observeApply(d time.Duration) {
 	in.applyNanos.Add(int64(d))
 	in.applyCount.Add(1)
+	if ew := in.drainEWMA.Load(); ew == 0 {
+		in.drainEWMA.Store(int64(d))
+	} else {
+		in.drainEWMA.Store((7*ew + int64(d)) / 8)
+	}
 	s := d.Seconds()
 	for i, ub := range latencyBuckets {
 		if s <= ub {
@@ -167,6 +199,31 @@ func (in *instance) observeApply(d time.Duration) {
 		}
 	}
 	in.applyBuckets[len(latencyBuckets)].Add(1)
+}
+
+// retryAfterSeconds estimates, from the drain-rate EWMA and the current
+// queue depth, how long a 429'd client should wait before the queue has
+// room — clamped to [1, 30] seconds, and 1 before any batch has been
+// applied (no estimate yet).
+func (in *instance) retryAfterSeconds() int {
+	ew := in.drainEWMA.Load()
+	if ew <= 0 {
+		return 1
+	}
+	wait := time.Duration(ew) * time.Duration(len(in.queue)+1)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// machines is the instance's current fleet size (changes on resize).
+func (in *instance) machines() int {
+	return in.dc.Load().Config().MachineCount()
 }
 
 // failed returns the instance's terminal error, if any.
@@ -280,9 +337,10 @@ func (in *instance) Checkpoint(e *snapshot.Encoder) {
 	e.F64(in.cfg.Phi)
 	e.U64(in.cfg.Seed)
 	e.U64(in.restoreCycles.Load())
+	e.Int(int(in.vpm.Load()))
 	e.Begin(tagServerMirror)
 	snapshot.EncodeGraph(e, in.mirror)
-	in.dc.Checkpoint(e)
+	in.dc.Load().Checkpoint(e)
 }
 
 // checkMeta validates a config echo against the instance's configuration.
@@ -301,17 +359,31 @@ func (in *instance) checkMeta(n int, phi float64, seed uint64) error {
 func (in *instance) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagServerMeta)
 	n, phi, seed, cycles := d.Int(), d.F64(), d.U64(), d.U64()
+	svpm := d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if err := in.checkMeta(n, phi, seed); err != nil {
 		return err
 	}
+	if int64(svpm) != in.vpm.Load() {
+		// The snapshot was cut after a resize: rebuild the fleet at the
+		// persisted shape before restoring into it, so a restarted server
+		// resumes at the machine count the instance last ran at.
+		cfg := in.cfg
+		cfg.VerticesPerMachine = svpm
+		dc, err := core.NewDynamicConnectivity(cfg)
+		if err != nil {
+			return fmt.Errorf("server: instance %d: rebuilding at snapshot shape (VerticesPerMachine=%d): %w", in.id, svpm, err)
+		}
+		in.dc.Store(dc)
+		in.vpm.Store(int64(svpm))
+	}
 	d.Begin(tagServerMirror)
 	if err := snapshot.DecodeGraphInto(d, in.mirror); err != nil {
 		return err
 	}
-	if err := in.dc.Restore(d); err != nil {
+	if err := in.dc.Load().Restore(d); err != nil {
 		return err
 	}
 	in.restoreCycles.Store(cycles + 1)
@@ -330,9 +402,10 @@ func (in *instance) CheckpointDelta(e *snapshot.Encoder) {
 	e.F64(in.cfg.Phi)
 	e.U64(in.cfg.Seed)
 	e.U64(in.restoreCycles.Load())
+	e.Int(int(in.vpm.Load()))
 	e.Begin(tagServerMirrorDelta)
 	snapshot.EncodeUpdates(e, in.mirrorDelta)
-	in.dc.CheckpointDelta(e)
+	in.dc.Load().CheckpointDelta(e)
 }
 
 // RestoreDelta implements snapshot.DeltaRestorer: it replays one delta on
@@ -342,17 +415,24 @@ func (in *instance) CheckpointDelta(e *snapshot.Encoder) {
 func (in *instance) RestoreDelta(d *snapshot.Decoder) error {
 	d.Begin(tagServerMetaDelta)
 	n, phi, seed, cycles := d.Int(), d.F64(), d.U64(), d.U64()
+	svpm := d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if err := in.checkMeta(n, phi, seed); err != nil {
 		return err
 	}
+	if int64(svpm) != in.vpm.Load() {
+		// Deltas never span a resize: every resize re-bases the chain with a
+		// full checkpoint at the new shape, so a shape mismatch here means
+		// the chain is corrupt.
+		return fmt.Errorf("server: delta written at VerticesPerMachine=%d cannot extend a base restored at %d", svpm, in.vpm.Load())
+	}
 	d.Begin(tagServerMirrorDelta)
 	if err := snapshot.DecodeUpdatesInto(d, in.mirror); err != nil {
 		return err
 	}
-	if err := in.dc.RestoreDelta(d); err != nil {
+	if err := in.dc.Load().RestoreDelta(d); err != nil {
 		return err
 	}
 	in.restoreCycles.Store(cycles + 1)
@@ -364,7 +444,7 @@ func (in *instance) RestoreDelta(d *snapshot.Decoder) error {
 // baseline.
 func (in *instance) AckCheckpoint() {
 	in.mirrorDelta = nil
-	in.dc.AckCheckpoint()
+	in.dc.Load().AckCheckpoint()
 }
 
 // checkpointQuiesced cuts a checkpoint (full or delta, the chain decides)
@@ -378,6 +458,8 @@ func (in *instance) checkpointQuiesced() error {
 	}
 	in.adm.Lock()
 	defer in.adm.Unlock()
+	in.quiesced.Store(true)
+	defer in.quiesced.Store(false)
 	in.waitIdle()
 	if err := in.failed(); err != nil {
 		return fmt.Errorf("skipping checkpoint: %w", err)
@@ -400,6 +482,75 @@ func (in *instance) checkpointQuiesced() error {
 		in.ckptFullCount.Add(1)
 		in.ckptFullBytes.Add(uint64(bytes))
 		in.ckptFullNanos.Add(nanos)
+	}
+	return nil
+}
+
+// resizeError wraps a resize failure with the HTTP status it maps onto: 400
+// for a shape no equal-range partition realizes, 409 for a migration the
+// target fleet's memory budget rejects.
+type resizeError struct {
+	status int
+	err    error
+}
+
+func (e *resizeError) Error() string { return e.err.Error() }
+func (e *resizeError) Unwrap() error { return e.err }
+
+// resize migrates the instance's live state onto a fleet of exactly machines
+// machines: admission pauses (readiness flips to 503), the queue drains, the
+// quiesced state is checkpointed in memory, and a fresh fleet at the target
+// shape restores it through the re-sharding path. A memory-cap rejection —
+// shrinking the per-machine budget below what the migrated state needs —
+// leaves the instance untouched, still serving at its old shape. On success
+// the on-disk chain (if any) is re-based with a full checkpoint at the new
+// shape, so a restart resumes there and no delta ever extends old-shape
+// containers.
+func (in *instance) resize(machines int) error {
+	cfg := in.cfg
+	cfg.VerticesPerMachine = int(in.vpm.Load())
+	tcfg, err := core.ResizeConfig(cfg, machines)
+	if err != nil {
+		return &resizeError{http.StatusBadRequest, err}
+	}
+	in.adm.Lock()
+	defer in.adm.Unlock()
+	in.quiesced.Store(true)
+	defer in.quiesced.Store(false)
+	in.waitIdle()
+	if err := in.failed(); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, in.dc.Load()); err != nil {
+		return fmt.Errorf("instance %d resize: checkpoint: %w", in.id, err)
+	}
+	fresh, err := core.NewDynamicConnectivity(tcfg)
+	if err != nil {
+		return fmt.Errorf("instance %d resize: %w", in.id, err)
+	}
+	if err := snapshot.Reshard(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		return &resizeError{http.StatusConflict,
+			fmt.Errorf("instance %d resize to %d machines: %w", in.id, machines, err)}
+	}
+	in.dc.Store(fresh)
+	in.vpm.Store(int64(tcfg.VerticesPerMachine))
+	in.reshardCount.Add(1)
+	in.reshardNanos.Add(int64(time.Since(start)))
+	if in.chain != nil {
+		in.chain.Rebase()
+		ckStart := time.Now()
+		_, nbytes, err := in.chain.Checkpoint(in) // always full after Rebase
+		if err != nil {
+			in.failure.CompareAndSwap(nil, &applyFailure{err: fmt.Errorf("post-resize checkpoint: %w", err)})
+			return fmt.Errorf("instance %d post-resize checkpoint: %w", in.id, err)
+		}
+		in.ckptFullCount.Add(1)
+		in.ckptFullBytes.Add(uint64(nbytes))
+		in.ckptFullNanos.Add(int64(time.Since(ckStart)))
 	}
 	return nil
 }

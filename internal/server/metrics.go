@@ -29,9 +29,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mpcserve_rounds_total", "Cumulative MPC rounds executed by the instance (observed on the update path).",
 		func(in *instance) uint64 { return uint64(in.rounds.Load()) })
 	counter("mpcserve_query_cache_hits_total", "Query batches answered entirely from the warm label cache (zero rounds).",
-		func(in *instance) uint64 { hits, _ := in.dc.QueryCacheStats(); return hits })
+		func(in *instance) uint64 { hits, _ := in.dc.Load().QueryCacheStats(); return hits })
 	counter("mpcserve_query_cache_misses_total", "Query batches that ran a cache-fill collective.",
-		func(in *instance) uint64 { _, misses := in.dc.QueryCacheStats(); return misses })
+		func(in *instance) uint64 { _, misses := in.dc.Load().QueryCacheStats(); return misses })
 	counter("mpcserve_update_batches_applied_total", "Update batches applied by the instance's applier.",
 		func(in *instance) uint64 { return in.batchesApplied.Load() })
 	counter("mpcserve_updates_applied_total", "Individual edge updates applied.",
@@ -42,6 +42,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in *instance) uint64 { return in.queryBatches.Load() })
 	counter("mpcserve_restore_cycles_total", "Checkpoint/restore cycles this instance has survived.",
 		func(in *instance) uint64 { return in.restoreCycles.Load() })
+	counter("mpcserve_reshard_total", "Elastic resizes completed (state migrated onto a new machine count).",
+		func(in *instance) uint64 { return in.reshardCount.Load() })
+	const reshardSec = "mpcserve_reshard_seconds"
+	fmt.Fprintf(&b, "# HELP %s Wall-clock seconds spent quiesced in elastic resizes (checkpoint + re-shard + chain re-base).\n# TYPE %s counter\n", reshardSec, reshardSec)
+	for _, in := range s.insts {
+		fmt.Fprintf(&b, "%s{instance=\"%d\"} %s\n", reshardSec, in.id,
+			formatFloat(time.Duration(in.reshardNanos.Load()).Seconds()))
+	}
 	// Checkpoint counters carry a kind label ("full" or "delta") so the cost
 	// split of the delta strategy is visible directly from a scrape.
 	kinded := func(name, help string, of func(in *instance, kind string) uint64) {
@@ -76,6 +84,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge("mpcserve_queue_depth", "Update batches waiting in the bounded queue.",
 		func(in *instance) float64 { return float64(len(in.queue)) })
+	gauge("mpcserve_cluster_machines", "Machines in the instance's MPC fleet (changes on resize).",
+		func(in *instance) float64 { return float64(in.machines()) })
+	gauge("mpcserve_instance_ready", "1 while the instance admits updates, 0 while quiesced or failed.",
+		func(in *instance) float64 {
+			if in.failed() != nil || in.quiesced.Load() {
+				return 0
+			}
+			return 1
+		})
 	gauge("mpcserve_instance_healthy", "1 while the instance serves traffic, 0 after an applier failure.",
 		func(in *instance) float64 {
 			if in.failed() != nil {

@@ -208,6 +208,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /instances/{id}/updates", s.handleUpdates)
 	s.mux.HandleFunc("POST /instances/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /instances/{id}/components", s.handleComponents)
+	s.mux.HandleFunc("POST /instances/{id}/resize", s.handleResize)
+	s.mux.HandleFunc("GET /instances/{id}/healthz", s.handleInstanceHealth)
 }
 
 // --- wire types ----------------------------------------------------------
@@ -254,10 +256,17 @@ type InstanceInfo struct {
 	ID         int     `json:"id"`
 	N          int     `json:"n"`
 	Phi        float64 `json:"phi"`
+	Machines   int     `json:"machines"`
 	MaxBatch   int     `json:"max_batch"`
 	QueueDepth int     `json:"queue_depth"`
 	QueueCap   int     `json:"queue_cap"`
 	Healthy    bool    `json:"healthy"`
+}
+
+// ResizeResponse acknowledges a completed POST /instances/{id}/resize.
+type ResizeResponse struct {
+	Machines           int `json:"machines"`
+	VerticesPerMachine int `json:"vertices_per_machine"`
 }
 
 // --- handlers ------------------------------------------------------------
@@ -274,11 +283,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	out := make([]InstanceInfo, 0, len(s.insts))
 	for _, in := range s.insts {
+		dc := in.dc.Load()
 		out = append(out, InstanceInfo{
 			ID:         in.id,
 			N:          in.cfg.N,
 			Phi:        in.cfg.Phi,
-			MaxBatch:   in.dc.MaxBatch(),
+			Machines:   dc.Config().MachineCount(),
+			MaxBatch:   dc.MaxBatch(),
 			QueueDepth: len(in.queue),
 			QueueCap:   cap(in.queue),
 			Healthy:    in.failed() == nil,
@@ -316,7 +327,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty update batch", http.StatusBadRequest)
 		return
 	}
-	if max := in.dc.MaxBatch(); len(req.Updates) > max {
+	if max := in.dc.Load().MaxBatch(); len(req.Updates) > max {
 		http.Error(w, fmt.Sprintf("batch of %d exceeds the instance's MaxBatch %d", len(req.Updates), max),
 			http.StatusRequestEntityTooLarge)
 		return
@@ -346,7 +357,10 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, UpdateResponse{Queued: len(b), QueueDepth: len(in.queue)})
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// The hint scales with the observed drain rate: a queue this deep
+		// takes about EWMA x depth to make room, so clients back off harder
+		// on slow instances instead of hammering a fixed one-second cadence.
+		w.Header().Set("Retry-After", strconv.Itoa(in.retryAfterSeconds()))
 		http.Error(w, "update queue full, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, errDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -384,8 +398,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		pairs[i] = core.Pair{U: p[0], V: p[1]}
 	}
 	in.mu.RLock()
-	ans := in.dc.ConnectedAll(pairs)
-	comps := in.dc.NumComponents()
+	dc := in.dc.Load()
+	ans := dc.ConnectedAll(pairs)
+	comps := dc.NumComponents()
 	in.mu.RUnlock()
 	in.queryBatches.Add(1)
 	writeJSON(w, http.StatusOK, QueryResponse{Connected: ans, Components: comps})
@@ -416,10 +431,61 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 		vertices = append(vertices, v)
 	}
 	in.mu.RLock()
-	labels := in.dc.ComponentsOf(vertices)
+	labels := in.dc.Load().ComponentsOf(vertices)
 	in.mu.RUnlock()
 	in.queryBatches.Add(1)
 	writeJSON(w, http.StatusOK, ComponentsResponse{Labels: labels})
+}
+
+// handleResize serves POST /instances/{id}/resize?machines=M: the elastic
+// resize described on instance.resize. 400 when no cluster shape realizes
+// the requested count, 409 when the migrated state does not fit the target
+// fleet's per-machine memory budget (the instance keeps serving at its old
+// shape), 200 with the new shape on success.
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	machines, err := strconv.Atoi(r.URL.Query().Get("machines"))
+	if err != nil {
+		http.Error(w, "missing or malformed ?machines=M (want an integer)", http.StatusBadRequest)
+		return
+	}
+	if err := in.resize(machines); err != nil {
+		var re *resizeError
+		if errors.As(err, &re) {
+			http.Error(w, re.Error(), re.status)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResizeResponse{
+		Machines:           in.machines(),
+		VerticesPerMachine: in.dc.Load().Config().VerticesPerMachine,
+	})
+}
+
+// handleInstanceHealth serves GET /instances/{id}/healthz: per-instance
+// liveness and readiness. 503 after an applier failure (dead) and while the
+// instance is quiesced for a checkpoint or resize (alive but not ready);
+// 200 otherwise.
+func (s *Server) handleInstanceHealth(w http.ResponseWriter, r *http.Request) {
+	in, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	if err := in.failed(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if in.quiesced.Load() {
+		http.Error(w, "quiesced (checkpoint or resize in progress)", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
 }
 
 // writeJSON writes v as a JSON response.

@@ -156,7 +156,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 
 	// An oversize batch is refused up front with 413.
 	big := UpdateRequest{}
-	for i := 0; i <= srv.insts[0].dc.MaxBatch(); i++ {
+	for i := 0; i <= srv.insts[0].dc.Load().MaxBatch(); i++ {
 		big.Updates = append(big.Updates, WireUpdate{Op: "insert", U: 0, V: 1})
 	}
 	resp := postJSON(t, ts.URL+"/instances/0/updates", big)
@@ -276,7 +276,7 @@ func TestServerCheckpointRestore(t *testing.T) {
 	}
 	// The label cache was restored warm: the query above must not have run
 	// a collective.
-	if hits, misses := srv2.insts[0].dc.QueryCacheStats(); hits == 0 || misses != 0 {
+	if hits, misses := srv2.insts[0].dc.Load().QueryCacheStats(); hits == 0 || misses != 0 {
 		t.Errorf("restored query was not warm: hits=%d misses=%d", hits, misses)
 	}
 	// Admission mirror survived: duplicate insert refused, delete accepted.
@@ -466,7 +466,7 @@ func TestServerDeltaCheckpointChain(t *testing.T) {
 	if fmt.Sprint(after) != fmt.Sprint(before) {
 		t.Errorf("restored answers %v, want %v", after, before)
 	}
-	if hits, misses := srv3.insts[0].dc.QueryCacheStats(); hits == 0 || misses != 0 {
+	if hits, misses := srv3.insts[0].dc.Load().QueryCacheStats(); hits == 0 || misses != 0 {
 		t.Errorf("restore from base+delta was not warm: hits=%d misses=%d", hits, misses)
 	}
 	// Admission mirror replayed the delta journal: the deleted edge can be

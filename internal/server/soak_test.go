@@ -92,12 +92,20 @@ func TestServerSoak(t *testing.T) {
 		MaxIdleConnsPerHost: soakReaders + soakInstances,
 	}}
 
-	// post sends one JSON request, retrying through backpressure (429),
-	// shutdown (503), and the connection errors of the restart window.
-	// retryable reports whether the caller should try again.
+	// post sends one JSON request through the RetryClient (which absorbs
+	// short 429/503 bursts, honoring Retry-After); the outer writer/reader
+	// loops still retry the transport errors of the restart window and any
+	// backpressure outlasting the client's attempt budget.
+	rc := &RetryClient{Client: client, MaxAttempts: 16,
+		BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
 	post := func(path string, body, out any) (status int, err error) {
 		data, _ := json.Marshal(body)
-		resp, err := client.Post(baseURL.Load().(string)+path, "application/json", bytes.NewReader(data))
+		req, err := http.NewRequest("POST", baseURL.Load().(string)+path, bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rc.Do(req)
 		if err != nil {
 			return 0, err
 		}
@@ -243,6 +251,19 @@ func TestServerSoak(t *testing.T) {
 			if resp.Components != wantComps {
 				t.Errorf("instance %d pass %d: %d components, twin has %d", i, pass, resp.Components, wantComps)
 			}
+		}
+	}
+
+	// Every instance must report ready on its per-instance healthz once the
+	// soak has drained — liveness and readiness, scraped like CI does.
+	for i := 0; i < soakInstances; i++ {
+		hresp, err := client.Get(baseURL.Load().(string) + fmt.Sprintf("/instances/%d/healthz", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			t.Errorf("instance %d healthz = %d after the soak, want 200", i, hresp.StatusCode)
 		}
 	}
 

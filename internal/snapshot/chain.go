@@ -48,6 +48,13 @@ func OpenChain(path string, maxDeltas int) *Chain {
 // Path returns the base snapshot path the chain is rooted at.
 func (c *Chain) Path() string { return c.path }
 
+// Rebase severs the chain's link to its on-disk history: the next
+// Checkpoint writes a fresh full base and sweeps any stale delta files.
+// Call it when the live state stops matching the history the chain
+// describes — e.g. after an elastic resize migrates the state onto a new
+// cluster shape — so no delta is ever appended to old-shape containers.
+func (c *Chain) Rebase() { c.linked = false }
+
 // Len returns the number of deltas currently extending the base.
 func (c *Chain) Len() int { return c.seq }
 

@@ -1,81 +1,3 @@
-// Package snapshot implements the crash-safe checkpoint/restore codec of
-// the repository: a versioned, length-prefixed binary format into which
-// every algorithm serializes its full distributed state — cluster metrics,
-// machine shards, sketch arenas, coordinator caches — so that a killed
-// simulator process can be restored bit-identically and continue a stream
-// without replaying it.
-//
-// # Format
-//
-// A snapshot is a flat []uint64 word stream serialized little-endian:
-//
-//	word 0   magic ("MPCSNAP1")
-//	word 1   format version (Version)
-//	word 2   payload length in words
-//	...      payload: mpc.MessageBatch frames, one per section
-//	last     CRC-32C (Castagnoli) of all preceding bytes, widened to a word
-//
-// The payload reuses the mpc.MessageBatch frame encoding (the simulator's
-// batched message codec): each section is one length-prefixed frame whose
-// first content word is the section tag chosen by the subsystem that wrote
-// it. The container layer therefore rejects structurally corrupt input the
-// same way the round codec would, and the CRC plus the version word make
-// truncated, bit-flipped, or version-skewed snapshots fail loudly with a
-// diagnostic error instead of being applied.
-//
-// # Delta containers
-//
-// A delta container is the incremental sibling of the full snapshot: same
-// word stream, same version word, same trailing CRC, but DeltaMagic
-// ("MPCDELT1") in word 0 and a mandatory first section (tagChain) carrying
-// the chain identity:
-//
-//	word 0   DeltaMagic ("MPCDELT1")
-//	word 1   format version (Version)
-//	word 2   payload length in words
-//	...      section tagChain: ChainLink{Base, Prev, Seq}
-//	...      delta sections (dirty regions / journals, per subsystem)
-//	last     CRC-32C of all preceding bytes
-//
-// ChainLink pins where in a chain the delta belongs: Base is the CRC word
-// of the full base snapshot, Prev the CRC word of the immediately
-// preceding container (the base for Seq 1), and Seq the 1-based position.
-// LoadDelta validates magic, version, CRC, and the full ChainLink against
-// the caller's expectation before any state is touched: a Base mismatch is
-// an orphaned delta (a leftover from before a compaction — sweepable, not
-// applicable), a Seq or Prev mismatch is an out-of-order delta (a hard
-// error). Chain (chain.go) builds the operational layer on top: full base
-// at <path>, deltas at <path>.delta-NNN, periodic compaction into a fresh
-// base (written atomically first, stale deltas removed after, so a crash
-// between the two leaves only orphans), and Restore-time orphan sweeping.
-//
-// Subsystems opt in by implementing DeltaState: CheckpointDelta writes
-// only the regions dirtied since the last acknowledged checkpoint,
-// RestoreDelta applies them in chain order on top of a restored base, and
-// AckCheckpoint clears the dirty journals — called only after the
-// container is durably on disk, so a failed or crashed write folds its
-// churn into the next delta instead of losing it.
-//
-// # Version policy
-//
-// Version is bumped on any incompatible change to the container or to any
-// subsystem's section layout. Snapshots are short-lived operational
-// artifacts (a crash/restore cycle, a paused soak run), not an archive
-// format: a version-skewed snapshot is rejected, never migrated. Within one
-// version, every subsystem additionally validates its own section contents
-// against the restoring instance's configuration (vertex count, seed,
-// shard shapes) and fails with a descriptive error on mismatch.
-//
-// # Usage
-//
-// Writers implement Checkpointer against the Encoder (Begin a section, then
-// append words); readers implement Restorer against the Decoder, whose
-// accessors are sticky: the first structural error latches and every later
-// read returns a zero value, so restore code reads linearly and checks
-// Err/Finish once. A Restore that returns an error leaves the target
-// instance in an undefined state — discard it and build a fresh one; the
-// container-level checks (magic, version, CRC) run before any state is
-// touched, so corrupt files are rejected up front.
 package snapshot
 
 import (
