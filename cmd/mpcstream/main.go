@@ -15,7 +15,10 @@
 // Algorithms: connectivity, msf (exact, insertion-only), approxmsf,
 // bipartite, matching (insertion-only greedy), dynmatching (AKLY),
 // nowickionak (with -scenario). With -stream, updates are replayed from a
-// file in the streamio text format instead of being generated. With
+// file in the streamio text format instead of being generated; with
+// -trace, from a segmented binary trace (internal/trace format), streamed
+// one segment at a time so a trace far larger than memory replays in
+// O(segment). -stream, -trace, and -scenario are mutually exclusive. With
 // -scenario, the named workload-registry stream is run through the
 // differential harness: every batch is cross-checked against the
 // brute-force oracle and the run fails loudly on divergence. -parallelism
@@ -24,6 +27,26 @@
 // the connectivity run into a read/write mix: after every update batch the
 // given number of connectivity queries is answered through one batched
 // ConnectedAll collective, oracle-verified, and reported as rounds/query.
+//
+// Ingestion (see internal/trace): -convert in.edges converts a SNAP-style
+// text edge list ("u v", "u v t", or "u v w t" lines, timestamps
+// non-decreasing) into the output(s) named by -trace (binary) and/or
+// -stream (text), streaming both ends; -window W expires each edge W time
+// units after insertion, emitting deletions. Self-loops and duplicate live
+// edges are dropped and counted. The replay paths then consume either
+// format interchangeably:
+//
+//	mpcstream -convert collab.edges -window 40 -trace collab.trace
+//	mpcstream -algo connectivity -trace collab.trace
+//	mpcstream -algo connectivity -trace collab.trace -trace-batches 50 -checkpoint c.snap
+//	mpcstream -algo connectivity -trace collab.trace -resume c.snap
+//
+// A -trace replay records how many trace batches it applied in every
+// checkpoint, so -resume seeks straight to the next segment boundary via
+// the trace's footer index instead of re-reading the prefix; -trace-batches
+// caps the replay to make such mid-trace checkpoints. -resume with -stream
+// keeps its historical meaning: the text file holds further updates, all
+// of which are replayed on top of the snapshot.
 //
 // Checkpoint & recovery (see internal/snapshot): -checkpoint writes a
 // crash-safe snapshot of the final connectivity state (plus the mirror
@@ -65,6 +88,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -79,6 +103,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/snapshot"
 	"repro/internal/streamio"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -92,7 +117,11 @@ func main() {
 	eps := flag.Float64("eps", 0.25, "MSF approximation parameter")
 	maxWeight := flag.Int64("maxweight", 64, "maximum edge weight")
 	insertBias := flag.Float64("insertbias", 0.6, "probability of keeping an existing edge")
-	streamFile := flag.String("stream", "", "replay updates from a streamio-format file")
+	streamFile := flag.String("stream", "", "replay updates from a streamio-format text file (with -convert: the text output path)")
+	traceFile := flag.String("trace", "", "replay updates from a binary trace file (internal/trace format; with -convert: the binary output path)")
+	convertFile := flag.String("convert", "", "convert this SNAP-style edge-list file into the -trace and/or -stream output(s) instead of running an algorithm")
+	window := flag.Int64("window", 0, "with -convert: expire each edge this many time units after insertion, emitting deletions (0 = keep edges forever)")
+	traceBatches := flag.Int("trace-batches", 0, "with -trace replay: apply at most this many trace batches (0 = all); combine with -checkpoint and a later -resume to continue mid-trace")
 	queries := flag.Int("queries", 0,
 		"read/write mix: issue this many batched connectivity queries after every update batch (-algo connectivity; answers are oracle-verified)")
 	scenario := flag.String("scenario", "",
@@ -120,7 +149,14 @@ func main() {
 	// Validate flags before constructing generators or clusters, so a bad
 	// combination is a usage error on stderr, not a raw panic from deep
 	// inside a constructor (e.g. workload.NewQueryMix on n < 2).
-	if err := validateFlags(*n, *batches, *queries, *crashEvery, *faultEvery, *resumeMachines, *deltaEvery, *maxDeltaChain, *maxWeight, *insertBias, *algo, *streamFile, *scenario, *checkpointFile, *resumeFile); err != nil {
+	if err := validateFlags(flagSet{
+		n: *n, batches: *batches, queries: *queries, crashEvery: *crashEvery,
+		faultEvery: *faultEvery, resumeMachines: *resumeMachines, deltaEvery: *deltaEvery,
+		maxDeltaChain: *maxDeltaChain, traceBatches: *traceBatches, maxWeight: *maxWeight,
+		window: *window, insertBias: *insertBias, algo: *algo, streamFile: *streamFile,
+		traceFile: *traceFile, convertFile: *convertFile, scenario: *scenario,
+		checkpointFile: *checkpointFile, resumeFile: *resumeFile,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcstream:", err)
 		os.Exit(2)
 	}
@@ -130,6 +166,10 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *convertFile != "":
+		err = runConvert(*convertFile, *traceFile, *streamFile, *window)
+	case *traceFile != "":
+		err = runTrace(*algo, *traceFile, *phi, *seed, *parallelism, *maxDeltaChain, *resumeMachines, *traceBatches, *resumeFile, *checkpointFile)
 	case *streamFile != "":
 		err = runStream(*algo, *streamFile, *phi, *seed, *parallelism, *maxDeltaChain, *resumeMachines, *resumeFile, *checkpointFile)
 	case *scenario != "":
@@ -156,63 +196,109 @@ func main() {
 	}
 }
 
+// flagSet carries every parsed flag validateFlags cross-checks; a struct
+// rather than a positional list, so adding a flag cannot silently swap two
+// ints at a call site.
+type flagSet struct {
+	n, batches, queries, crashEvery, faultEvery int
+	resumeMachines, deltaEvery, maxDeltaChain   int
+	traceBatches                                int
+	maxWeight, window                           int64
+	insertBias                                  float64
+	algo, streamFile, traceFile, convertFile    string
+	scenario, checkpointFile, resumeFile        string
+}
+
 // validateFlags rejects invalid or incoherent flag combinations up front.
-func validateFlags(n, batches, queries, crashEvery, faultEvery, resumeMachines, deltaEvery, maxDeltaChain int, maxWeight int64, insertBias float64, algo, streamFile, scenario, checkpointFile, resumeFile string) error {
-	if n < 2 {
-		return fmt.Errorf("-n must be at least 2 (got %d)", n)
+func validateFlags(f flagSet) error {
+	if f.n < 2 {
+		return fmt.Errorf("-n must be at least 2 (got %d)", f.n)
 	}
 	// The generator config check covers -maxweight and -insertbias: a bad
 	// value is a usage error here, not a panic inside workload.NewChurn.
-	if err := (workload.Config{N: n, MaxWeight: maxWeight, InsertBias: insertBias}).Validate(); err != nil {
+	if err := (workload.Config{N: f.n, MaxWeight: f.maxWeight, InsertBias: f.insertBias}).Validate(); err != nil {
 		return err
 	}
-	if batches < 0 {
-		return fmt.Errorf("-batches must be non-negative (got %d)", batches)
+	if f.batches < 0 {
+		return fmt.Errorf("-batches must be non-negative (got %d)", f.batches)
 	}
-	if queries < 0 {
-		return fmt.Errorf("-queries must be non-negative (got %d)", queries)
+	if f.queries < 0 {
+		return fmt.Errorf("-queries must be non-negative (got %d)", f.queries)
 	}
-	if crashEvery < 0 {
-		return fmt.Errorf("-crash-every must be non-negative (got %d)", crashEvery)
+	if f.crashEvery < 0 {
+		return fmt.Errorf("-crash-every must be non-negative (got %d)", f.crashEvery)
 	}
-	if queries > 0 && (streamFile != "" || scenario != "") {
+	if f.window < 0 {
+		return fmt.Errorf("-window must be non-negative (got %d)", f.window)
+	}
+	if f.traceBatches < 0 {
+		return fmt.Errorf("-trace-batches must be non-negative (got %d)", f.traceBatches)
+	}
+	if f.convertFile != "" {
+		// Conversion mode: -trace/-stream name the outputs.
+		if f.traceFile == "" && f.streamFile == "" {
+			return fmt.Errorf("-convert needs at least one output: -trace (binary) and/or -stream (text)")
+		}
+		if f.scenario != "" || f.resumeFile != "" || f.checkpointFile != "" || f.queries > 0 ||
+			f.crashEvery > 0 || f.faultEvery > 0 || f.deltaEvery > 0 || f.traceBatches > 0 {
+			return fmt.Errorf("-convert only combines with -trace/-stream outputs and -window")
+		}
+		return nil
+	}
+	if f.window > 0 {
+		return fmt.Errorf("-window only applies to -convert")
+	}
+	// Replay/run modes: the three stream selectors are mutually exclusive.
+	set := 0
+	for _, s := range []string{f.streamFile, f.traceFile, f.scenario} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return fmt.Errorf("-stream, -trace, and -scenario are mutually exclusive (pick one input)")
+	}
+	if f.traceBatches > 0 && f.traceFile == "" {
+		return fmt.Errorf("-trace-batches requires -trace")
+	}
+	if f.queries > 0 && set > 0 {
 		// Fail loudly rather than silently running a write-only stream: the
 		// read/write mix is only wired into the generated-stream mode.
-		return fmt.Errorf("-queries is only supported in the generated-stream mode (not with -stream or -scenario)")
+		return fmt.Errorf("-queries is only supported in the generated-stream mode (not with -stream, -trace, or -scenario)")
 	}
-	if queries > 0 && algo != "connectivity" {
-		return fmt.Errorf("-queries requires -algo connectivity, got %q", algo)
+	if f.queries > 0 && f.algo != "connectivity" {
+		return fmt.Errorf("-queries requires -algo connectivity, got %q", f.algo)
 	}
-	if crashEvery > 0 && scenario == "" {
+	if f.crashEvery > 0 && f.scenario == "" {
 		return fmt.Errorf("-crash-every requires -scenario")
 	}
-	if faultEvery < 0 {
-		return fmt.Errorf("-fault-every must be non-negative (got %d)", faultEvery)
+	if f.faultEvery < 0 {
+		return fmt.Errorf("-fault-every must be non-negative (got %d)", f.faultEvery)
 	}
-	if faultEvery > 0 && scenario == "" {
+	if f.faultEvery > 0 && f.scenario == "" {
 		return fmt.Errorf("-fault-every requires -scenario")
 	}
-	if resumeMachines < 0 {
-		return fmt.Errorf("-resume-machines must be non-negative (got %d)", resumeMachines)
+	if f.resumeMachines < 0 {
+		return fmt.Errorf("-resume-machines must be non-negative (got %d)", f.resumeMachines)
 	}
-	if resumeMachines > 0 && resumeFile == "" {
+	if f.resumeMachines > 0 && f.resumeFile == "" {
 		return fmt.Errorf("-resume-machines requires -resume")
 	}
-	if deltaEvery < 0 {
-		return fmt.Errorf("-delta-every must be non-negative (got %d)", deltaEvery)
+	if f.deltaEvery < 0 {
+		return fmt.Errorf("-delta-every must be non-negative (got %d)", f.deltaEvery)
 	}
-	if maxDeltaChain < 0 {
-		return fmt.Errorf("-max-delta-chain must be non-negative (got %d)", maxDeltaChain)
+	if f.maxDeltaChain < 0 {
+		return fmt.Errorf("-max-delta-chain must be non-negative (got %d)", f.maxDeltaChain)
 	}
-	if deltaEvery > 0 && scenario == "" {
+	if f.deltaEvery > 0 && f.scenario == "" {
 		return fmt.Errorf("-delta-every requires -scenario")
 	}
-	if resumeFile != "" && streamFile == "" {
-		return fmt.Errorf("-resume requires -stream: a generated workload cannot continue a restored graph " +
+	if f.resumeFile != "" && f.streamFile == "" && f.traceFile == "" {
+		return fmt.Errorf("-resume requires -stream or -trace: a generated workload cannot continue a restored graph " +
 			"(its generator state is not part of the snapshot)")
 	}
-	if checkpointFile != "" && (scenario != "" || algo != "connectivity") {
-		return fmt.Errorf("-checkpoint is supported for -algo connectivity in the generated and -stream modes")
+	if f.checkpointFile != "" && (f.scenario != "" || f.algo != "connectivity") {
+		return fmt.Errorf("-checkpoint is supported for -algo connectivity in the generated, -stream, and -trace modes")
 	}
 	return nil
 }
@@ -385,9 +471,15 @@ type streamState struct {
 	// It is part of the meta echo so a resume rebuilds the fleet at the
 	// machine count the checkpoint was cut at — which, after a
 	// -resume-machines re-shard, differs from the config default.
-	vpm    int
-	dc     *core.DynamicConnectivity
-	mirror *graph.Graph
+	vpm int
+	// applied counts the input batches applied to the state since the start
+	// of its stream. It rides the meta echo so a -trace -resume can seek the
+	// trace's footer index straight to batch `applied` instead of replaying
+	// the prefix. (Text -stream resumes replay a separate continuation file,
+	// so they ignore it.)
+	applied int
+	dc      *core.DynamicConnectivity
+	mirror  *graph.Graph
 
 	// pending journals every update applied since the last acknowledged
 	// checkpoint; delta checkpoints ship it instead of the whole mirror.
@@ -401,6 +493,7 @@ func (s *streamState) Checkpoint(e *snapshot.Encoder) {
 	e.F64(s.phi)
 	e.U64(s.seed)
 	e.Int(s.vpm)
+	e.Int(s.applied)
 	e.Begin(tagCLIMirror)
 	snapshot.EncodeGraph(e, s.mirror)
 	s.dc.Checkpoint(e)
@@ -414,6 +507,7 @@ func (s *streamState) Restore(d *snapshot.Decoder) error {
 	d.Begin(tagCLIMeta)
 	s.n, s.phi, s.seed = d.Int(), d.F64(), d.U64()
 	s.vpm = d.Int()
+	s.applied = d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -428,6 +522,9 @@ func (s *streamState) Restore(d *snapshot.Decoder) error {
 	}
 	if s.vpm < 0 || s.vpm > s.n {
 		return fmt.Errorf("snapshot declares VerticesPerMachine=%d (want 0..%d)", s.vpm, s.n)
+	}
+	if s.applied < 0 {
+		return fmt.Errorf("snapshot declares %d applied batches (want >= 0)", s.applied)
 	}
 	d.Begin(tagCLIMirror)
 	s.mirror = graph.New(s.n)
@@ -479,6 +576,7 @@ func (s *streamState) CheckpointDelta(e *snapshot.Encoder) {
 	e.F64(s.phi)
 	e.U64(s.seed)
 	e.Int(s.vpm)
+	e.Int(s.applied)
 	e.Begin(tagCLIMirrorDelta)
 	snapshot.EncodeUpdates(e, s.pending)
 	s.dc.CheckpointDelta(e)
@@ -490,6 +588,7 @@ func (s *streamState) RestoreDelta(d *snapshot.Decoder) error {
 	d.Begin(tagCLIMetaDelta)
 	n, phi, seed := d.Int(), d.F64(), d.U64()
 	vpm := d.Int()
+	applied := d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -500,6 +599,10 @@ func (s *streamState) RestoreDelta(d *snapshot.Decoder) error {
 	if vpm != s.vpm {
 		return fmt.Errorf("delta written at VerticesPerMachine=%d cannot extend a base restored at %d", vpm, s.vpm)
 	}
+	if applied < s.applied {
+		return fmt.Errorf("delta says %d batches applied but the chain so far says %d — links out of order", applied, s.applied)
+	}
+	s.applied = applied
 	d.Begin(tagCLIMirrorDelta)
 	if err := snapshot.DecodeUpdatesInto(d, s.mirror); err != nil {
 		return err
@@ -548,103 +651,266 @@ func resumeState(path string, parallelism, maxDeltaChain int) (*streamState, *sn
 	return st, chain, nil
 }
 
-// runStream replays a trace file through the connectivity algorithm,
+// resumeOrFresh restores a streamState from resumeFile (applying any
+// -resume-machines re-shard and re-basing the chain) or builds a fresh one
+// over n vertices. It is the shared front half of runStream and runTrace.
+func resumeOrFresh(n int, phi float64, seed uint64, parallelism, maxDeltaChain, resumeMachines int, resumeFile string) (*streamState, *snapshot.Chain, error) {
+	if resumeFile == "" {
+		if n < 2 {
+			return nil, nil, fmt.Errorf("stream references fewer than 2 vertices")
+		}
+		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &streamState{n: n, phi: phi, seed: seed, parallelism: parallelism, dc: dc, mirror: graph.New(n)}, nil, nil
+	}
+	st, chain, err := resumeState(resumeFile, parallelism, maxDeltaChain)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resume %s: %w", resumeFile, err)
+	}
+	fmt.Printf("resumed %d vertices, %d edges from %s (chain length %d)\n", st.n, st.mirror.M(), resumeFile, chain.Len())
+	if resumeMachines > 0 {
+		was := st.dc.Config().MachineCount()
+		if err := st.reshard(resumeMachines); err != nil {
+			return nil, nil, fmt.Errorf("re-shard onto %d machines: %w", resumeMachines, err)
+		}
+		// The restored chain describes the old shape: re-base it so a
+		// -checkpoint onto the same path writes a fresh full base rather
+		// than a delta extending old-shape containers.
+		chain.Rebase()
+		fmt.Printf("re-sharded %d -> %d machines (VerticesPerMachine=%d)\n", was, resumeMachines, st.vpm)
+	}
+	return st, chain, nil
+}
+
+// replay pulls batches from the validating source and applies them to the
+// connectivity state, chunked to the cluster's MaxBatch, until io.EOF or
+// (maxBatches > 0) that many source batches. Every applied update is
+// journaled so a delta checkpoint ships just the replayed suffix, and
+// st.applied advances per source batch so a trace checkpoint records the
+// resume position.
+func (s *streamState) replay(src *workload.Mirrored, maxBatches int) (int, error) {
+	replayed := 0
+	for maxBatches <= 0 || replayed < maxBatches {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return replayed, err
+		}
+		if len(b) == 0 {
+			continue
+		}
+		for len(b) > 0 {
+			k := s.dc.MaxBatch()
+			if k > len(b) {
+				k = len(b)
+			}
+			if err := s.dc.ApplyBatch(b[:k]); err != nil {
+				return replayed, err
+			}
+			s.pending = append(s.pending, b[:k]...)
+			b = b[k:]
+		}
+		replayed++
+		s.applied++
+	}
+	return replayed, nil
+}
+
+// finishReplay verifies the replayed state against the mirror, prints the
+// summary (identical across the text and trace paths, so CI can diff
+// them), and writes the checkpoint if requested.
+func (s *streamState) finishReplay(replayed int, mirror *graph.Graph, chain *snapshot.Chain, maxDeltaChain int, resumeFile, checkpointFile string) error {
+	if err := harness.VerifyConnectivity(s.dc, mirror); err != nil {
+		return fmt.Errorf("replay diverged from the oracle: %w", err)
+	}
+	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle-verified)\n",
+		replayed, s.n, s.dc.NumComponents())
+	report(s.dc.Cluster().Stats(), replayed)
+	if checkpointFile != "" {
+		s.mirror = mirror
+		if chain == nil || checkpointFile != resumeFile {
+			// Writing somewhere other than the resumed chain: start a fresh
+			// chain there, which forces a full base.
+			chain = snapshot.OpenChain(checkpointFile, maxDeltaChain)
+		}
+		return writeCheckpoint(chain, s)
+	}
+	return nil
+}
+
+// runStream replays a text stream file through the connectivity algorithm,
 // optionally resuming from and/or writing a checkpoint. When -resume and
 // -checkpoint name the same path, the written checkpoint extends the
 // restored chain as a cheap delta (carrying only the replayed updates and
-// the state they dirtied) instead of rewriting the full snapshot.
+// the state they dirtied) instead of rewriting the full snapshot. The file
+// is streamed, never materialized: a first pass scans for the vertex-space
+// size (skipped when a resumed snapshot already pins it), a second replays
+// batch by batch, each validated against the mirror as it is pulled.
 func runStream(algo, path string, phi float64, seed uint64, parallelism, maxDeltaChain, resumeMachines int, resumeFile, checkpointFile string) error {
 	if algo != "connectivity" {
 		return fmt.Errorf("-stream currently supports -algo connectivity, got %q", algo)
+	}
+	n := 0
+	if resumeFile == "" {
+		// Pass 1: fold the max vertex without holding more than one batch.
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r := streamio.NewReader(file)
+		for {
+			b, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				file.Close()
+				return err
+			}
+			if m := b.MaxVertex(); m >= n {
+				n = m + 1
+			}
+		}
+		file.Close()
+	}
+	st, chain, err := resumeOrFresh(n, phi, seed, parallelism, maxDeltaChain, resumeMachines, resumeFile)
+	if err != nil {
+		return err
 	}
 	file, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer file.Close()
-	batches, err := streamio.Read(file)
+	shape := workload.Shape{N: st.n, Batches: -1, Updates: -1}
+	src := workload.NewMirroredFrom(st.mirror, workload.NewFuncSource(shape, streamio.NewReader(file).Next))
+	replayed, err := st.replay(src, 0)
 	if err != nil {
 		return err
 	}
-	var st *streamState
-	var chain *snapshot.Chain
+	return st.finishReplay(replayed, src.Mirror(), chain, maxDeltaChain, resumeFile, checkpointFile)
+}
+
+// runTrace replays a binary trace (internal/trace format) through the
+// connectivity algorithm. Unlike the text path, the trace's footer already
+// carries the vertex-space size (no scanning pass) and a seekable segment
+// index: resuming a checkpoint cut mid-trace seeks straight to the first
+// unapplied batch, decoding only the segments from there on.
+func runTrace(algo, path string, phi float64, seed uint64, parallelism, maxDeltaChain, resumeMachines, traceBatches int, resumeFile, checkpointFile string) error {
+	if algo != "connectivity" {
+		return fmt.Errorf("-trace currently supports -algo connectivity, got %q", algo)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	tr, err := trace.NewReader(file)
+	if err != nil {
+		return err
+	}
+	shape := tr.Shape()
+	st, chain, err := resumeOrFresh(shape.N, phi, seed, parallelism, maxDeltaChain, resumeMachines, resumeFile)
+	if err != nil {
+		return err
+	}
+	if shape.N > st.n {
+		return fmt.Errorf("trace spans %d vertices but the resumed snapshot covers [0,%d)", shape.N, st.n)
+	}
 	if resumeFile != "" {
-		st, chain, err = resumeState(resumeFile, parallelism, maxDeltaChain)
-		if err != nil {
-			return fmt.Errorf("resume %s: %w", resumeFile, err)
+		if st.applied > shape.Batches {
+			return fmt.Errorf("snapshot says %d batches already applied but the trace holds only %d — wrong trace for this checkpoint?", st.applied, shape.Batches)
 		}
-		if maxV := streamio.MaxVertex(batches); maxV >= st.n {
-			return fmt.Errorf("stream references vertex %d but the resumed snapshot covers [0,%d)", maxV, st.n)
-		}
-		fmt.Printf("resumed %d vertices, %d edges from %s (chain length %d)\n", st.n, st.mirror.M(), resumeFile, chain.Len())
-		if resumeMachines > 0 {
-			was := st.dc.Config().MachineCount()
-			if err := st.reshard(resumeMachines); err != nil {
-				return fmt.Errorf("re-shard onto %d machines: %w", resumeMachines, err)
-			}
-			// The restored chain describes the old shape: re-base it so a
-			// -checkpoint onto the same path writes a fresh full base rather
-			// than a delta extending old-shape containers.
-			chain.Rebase()
-			fmt.Printf("re-sharded %d -> %d machines (VerticesPerMachine=%d)\n", was, resumeMachines, st.vpm)
-		}
-	} else {
-		n := streamio.MaxVertex(batches) + 1
-		if n < 2 {
-			return fmt.Errorf("stream references fewer than 2 vertices")
-		}
-		dc, err := core.NewDynamicConnectivity(core.Config{N: n, Phi: phi, Seed: seed, Parallelism: parallelism})
-		if err != nil {
+		if err := tr.SeekBatch(st.applied); err != nil {
 			return err
 		}
-		st = &streamState{n: n, phi: phi, seed: seed, parallelism: parallelism, dc: dc, mirror: graph.New(n)}
+		fmt.Printf("continuing at trace batch %d of %d (segment index seek)\n", st.applied, shape.Batches)
 	}
-	// Pre-validate so a corrupt trace yields an error, not Replay's panic.
-	probe := graph.New(st.n)
-	if err := probe.Apply(graphBatchOf(st.mirror)); err != nil {
-		return fmt.Errorf("restored mirror is inconsistent: %w", err)
+	src := workload.NewMirroredFrom(st.mirror, tr)
+	replayed, err := st.replay(src, traceBatches)
+	if err != nil {
+		return err
 	}
-	for i, b := range batches {
-		if err := probe.Apply(b); err != nil {
-			return fmt.Errorf("batch %d invalid against the replayed graph: %w", i, err)
-		}
-	}
-	rp := workload.NewReplayFrom(st.mirror, batches)
-	for !rp.Done() {
-		b := rp.Next(st.dc.MaxBatch())
-		if err := st.dc.ApplyBatch(b); err != nil {
+	return st.finishReplay(replayed, src.Mirror(), chain, maxDeltaChain, resumeFile, checkpointFile)
+}
+
+// multiSink fans converted batches out to every output format requested.
+type multiSink []trace.Sink
+
+func (m multiSink) WriteBatch(b graph.Batch) error {
+	for _, s := range m {
+		if err := s.WriteBatch(b); err != nil {
 			return err
 		}
-		// Journal the replayed updates so a delta checkpoint can ship just
-		// them instead of the whole mirror.
-		st.pending = append(st.pending, b...)
-	}
-	if err := harness.VerifyConnectivity(st.dc, rp.Mirror()); err != nil {
-		return fmt.Errorf("replay diverged from the oracle: %w", err)
-	}
-	fmt.Printf("replayed %d batches on %d vertices: %d components (oracle-verified)\n",
-		len(batches), st.n, st.dc.NumComponents())
-	report(st.dc.Cluster().Stats(), len(batches))
-	if checkpointFile != "" {
-		st.mirror = rp.Mirror()
-		if chain == nil || checkpointFile != resumeFile {
-			// Writing somewhere other than the resumed chain: start a fresh
-			// chain there, which forces a full base.
-			chain = snapshot.OpenChain(checkpointFile, maxDeltaChain)
-		}
-		return writeCheckpoint(chain, st)
 	}
 	return nil
 }
 
-// graphBatchOf renders a graph's live edges as one insertion batch (used to
-// prime the pre-validation probe with the restored mirror).
-func graphBatchOf(g *graph.Graph) graph.Batch {
-	var b graph.Batch
-	for _, we := range g.Edges() {
-		b = append(b, graph.InsW(we.U, we.V, we.Weight))
+// runConvert streams a SNAP-style edge list into the requested trace
+// (binary) and/or stream (text) outputs. Input and outputs are all
+// streamed; memory is bounded by the live-edge window plus one segment.
+func runConvert(in, tracePath, streamPath string, window int64) error {
+	inf, err := os.Open(in)
+	if err != nil {
+		return err
 	}
-	return b
+	defer inf.Close()
+	var sinks multiSink
+	var tw *trace.Writer
+	var sw *streamio.Writer
+	var outs []*os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, f)
+		if tw, err = trace.NewWriter(f, trace.WriterOptions{}); err != nil {
+			return err
+		}
+		sinks = append(sinks, tw)
+	}
+	if streamPath != "" {
+		f, err := os.Create(streamPath)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, f)
+		sw = streamio.NewWriter(f)
+		sinks = append(sinks, sw)
+	}
+	stats, err := trace.ConvertEdgeList(inf, sinks, trace.ConvertOptions{Window: window})
+	if err != nil {
+		return err
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return err
+		}
+	}
+	if sw != nil {
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, f := range outs {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	weighted := "unweighted"
+	if stats.Weighted {
+		weighted = "weighted"
+	}
+	fmt.Printf("converted %d lines: %d batches, %d updates on %d vertices (%s)\n",
+		stats.Lines, stats.Batches, stats.Updates, stats.N, weighted)
+	fmt.Printf("normalized: %d duplicates, %d self-loops skipped; %d window expirations emitted\n",
+		stats.Duplicates, stats.SelfLoops, stats.Expired)
+	return nil
 }
 
 func report(st mpc.Stats, batches int) {

@@ -145,6 +145,22 @@ func (b Batch) Inserts() []Update {
 	return out
 }
 
+// MaxVertex returns the largest endpoint referenced by the batch, or -1
+// for an empty batch. Streaming consumers fold it over batches to size a
+// vertex space without materializing the stream.
+func (b Batch) MaxVertex() int {
+	max := -1
+	for _, u := range b {
+		if u.Edge.V > max {
+			max = u.Edge.V
+		}
+		if u.Edge.U > max {
+			max = u.Edge.U
+		}
+	}
+	return max
+}
+
 // Deletes returns the deletion updates of the batch, in order.
 func (b Batch) Deletes() []Update {
 	var out []Update

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -40,13 +41,18 @@ func TestGoldenScenarioTraces(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			stream := workload.Record(sc.New(gs.n, gs.seed), gs.batches, gs.k)
-			if len(stream) == 0 {
-				t.Fatal("empty recording")
-			}
+			// Regenerate through the incremental writer: the generator is
+			// drained straight into the text encoder, never materialized —
+			// and the bytes must still match the goldens recorded by the old
+			// materializing Record+Write composition.
 			var buf bytes.Buffer
-			if err := streamio.Write(&buf, stream); err != nil {
+			src := workload.NewGeneratorSource(sc.New(gs.n, gs.seed), gs.batches, gs.k)
+			written, err := streamio.WriteFrom(&buf, src)
+			if err != nil {
 				t.Fatal(err)
+			}
+			if written == 0 {
+				t.Fatal("empty recording")
 			}
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(gs.file), 0o755); err != nil {
@@ -64,18 +70,29 @@ func TestGoldenScenarioTraces(t *testing.T) {
 				t.Fatalf("%s drifted from the %s generator; regenerate with -update if intentional", gs.file, gs.scenario)
 			}
 			replay := func(parallelism int) (mpc.Stats, []int) {
-				batches, err := streamio.Read(bytes.NewReader(disk))
-				if err != nil {
-					t.Fatal(err)
-				}
 				dc, err := core.NewDynamicConnectivity(core.Config{N: gs.n, Phi: 0.6, Seed: 1, Parallelism: parallelism})
 				if err != nil {
 					t.Fatal(err)
 				}
-				rp := workload.NewReplay(gs.n, batches)
-				for !rp.Done() {
-					if err := dc.ApplyBatch(rp.Next(dc.MaxBatch())); err != nil {
+				shape := workload.Shape{N: gs.n, Batches: -1, Updates: -1}
+				rp := workload.NewMirrored(workload.NewFuncSource(shape, streamio.NewReader(bytes.NewReader(disk)).Next))
+				for {
+					b, err := rp.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
 						t.Fatal(err)
+					}
+					for len(b) > 0 {
+						k := dc.MaxBatch()
+						if k > len(b) {
+							k = len(b)
+						}
+						if err := dc.ApplyBatch(b[:k]); err != nil {
+							t.Fatal(err)
+						}
+						b = b[k:]
 					}
 				}
 				if err := VerifyConnectivity(dc, rp.Mirror()); err != nil {

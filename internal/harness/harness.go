@@ -16,11 +16,17 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
+
+	// Register the embedded real-trace scenario (collab32) alongside the
+	// synthetic generators, so every harness sweep covers the converter
+	// ingestion path too.
+	_ "repro/internal/trace"
 )
 
 // Options parameterizes one differential run. The zero value is usable:
@@ -335,15 +341,87 @@ func runScenario(algo Algorithm, sc workload.Scenario, opt Options) (Instance, O
 	if opt.BatchSize > 0 && opt.BatchSize < size {
 		size = opt.BatchSize
 	}
+	src := workload.NewGeneratorSource(gen, opt.Batches, size)
+	return driveSource(algo, sc.Name, inst, src, opt, size, crash, fault, chain)
+}
+
+// RunSource streams an external batch source (a replayed trace, a converted
+// edge list, a recorded stream) through the named algorithm under the same
+// differential checking as Run: the source's mirror is the oracle substrate,
+// checks run every Options.CheckEvery source batches plus at the end, and
+// crash/fault injection applies unchanged. Options.N defaults to the
+// source's Shape().N and must cover it; Options.Batches is ignored — the
+// source runs to io.EOF. Source batches larger than the algorithm's
+// MaxBatch (or Options.BatchSize) are applied in chunks.
+func RunSource(algoName, streamName string, src workload.MirrorSource, opt Options) (*Report, error) {
+	algo, err := GetAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	shape := src.Shape()
+	if opt.N == 0 {
+		opt.N = shape.N
+	}
+	if shape.N > opt.N {
+		return nil, fmt.Errorf("harness: source %s spans %d vertices but Options.N is %d", streamName, shape.N, opt.N)
+	}
+	if algo.NeedsWeights && !shape.Weighted {
+		return nil, fmt.Errorf("harness: %s needs weighted updates but source %s is unweighted", algoName, streamName)
+	}
+	opt = opt.withDefaults()
+	inst, err := algo.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	var crash *workload.CrashSchedule
+	var fault *workload.MachineFaultSchedule
+	var chain *memChain
+	if opt.CrashEvery > 0 || opt.CheckpointEvery > 0 || opt.FaultEvery > 0 {
+		if _, ok := inst.(Checkpointable); !ok {
+			return nil, fmt.Errorf("harness: %s does not support checkpoint/restore (CrashEvery/CheckpointEvery/FaultEvery)", algo.Name)
+		}
+		chain = &memChain{maxDeltas: opt.MaxDeltaChain}
+	}
+	if opt.CrashEvery > 0 {
+		crash = workload.NewCrashSchedule(opt.CrashSeed, opt.CrashEvery)
+	}
+	if opt.FaultEvery > 0 {
+		if _, ok := inst.(Elastic); !ok {
+			return nil, fmt.Errorf("harness: %s does not support elastic re-sharding (FaultEvery)", algo.Name)
+		}
+		fault = workload.NewMachineFaultSchedule(opt.FaultSeed, opt.FaultEvery)
+	}
+	size := inst.MaxBatch()
+	if opt.BatchSize > 0 && opt.BatchSize < size {
+		size = opt.BatchSize
+	}
+	_, _, rep, err := driveSource(algo, streamName, inst, src, opt, size, crash, fault, chain)
+	return rep, err
+}
+
+// driveSource is the shared engine of RunScenario and RunSource: it pulls
+// batches from src until io.EOF, applies each (chunked to size), and runs
+// the differential checks and fault decorations at source-batch indices.
+// Empty batches advance the index without touching the instance, so a
+// stalled generator iteration and a skipped batch stay aligned with the
+// seeded crash/fault schedules.
+func driveSource(algo Algorithm, scName string, inst Instance, src workload.MirrorSource, opt Options, size int, crash *workload.CrashSchedule, fault *workload.MachineFaultSchedule, chain *memChain) (Instance, Options, *Report, error) {
 	// cur tracks the live cluster shape: machine-fault recovery shrinks
 	// VerticesPerMachine, and every rebuild (crash or fault) must use the
 	// current shape, not the original one. pending journals the batches
 	// applied since the last checkpoint — the replay set of a fault.
 	cur := opt
 	var pending []graph.Batch
-	rep := &Report{Algorithm: algo.Name, Scenario: sc.Name, Rounds: -1}
-	for i := 0; i < opt.Batches; i++ {
-		b := gen.Next(size)
+	var err error
+	rep := &Report{Algorithm: algo.Name, Scenario: scName, Rounds: -1}
+	for i := 0; ; i++ {
+		b, serr := src.Next()
+		if serr == io.EOF {
+			break
+		}
+		if serr != nil {
+			return nil, cur, nil, fmt.Errorf("harness: %s over %s: batch %d: %w", algo.Name, scName, i, serr)
+		}
 		if len(b) == 0 {
 			continue // stalled (e.g. saturated insert-only stream)
 		}
@@ -354,16 +432,16 @@ func runScenario(algo Algorithm, sc workload.Scenario, opt Options) (Instance, O
 				// re-shards the last checkpoint onto the survivors and
 				// replays pending; batch i itself is replayed by the
 				// Apply below, on the recovered instance.
-				inst, cur, err = faultReshard(algo, cur, chain, pending, rep)
+				inst, cur, err = faultReshard(algo, cur, chain, pending, size, rep)
 				if err != nil {
-					return nil, cur, nil, fmt.Errorf("harness: %s over %s: machine fault at batch %d: %w", algo.Name, sc.Name, i, err)
+					return nil, cur, nil, fmt.Errorf("harness: %s over %s: machine fault at batch %d: %w", algo.Name, scName, i, err)
 				}
 				pending = pending[:0]
 				rep.ReplayedBatches++ // the in-flight batch
 			}
 		}
-		if err := inst.Apply(b); err != nil {
-			return nil, cur, nil, fmt.Errorf("harness: %s over %s: batch %d: %w", algo.Name, sc.Name, i, err)
+		if err := applyChunked(inst, b, size); err != nil {
+			return nil, cur, nil, fmt.Errorf("harness: %s over %s: batch %d: %w", algo.Name, scName, i, err)
 		}
 		if fault != nil {
 			pending = append(pending, append(graph.Batch(nil), b...))
@@ -371,41 +449,54 @@ func runScenario(algo Algorithm, sc workload.Scenario, opt Options) (Instance, O
 		rep.Batches++
 		rep.Updates += len(b)
 		if opt.CheckEvery > 0 && (i+1)%opt.CheckEvery == 0 {
-			if err := inst.Check(gen.Mirror()); err != nil {
-				return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at batch %d: %w", algo.Name, sc.Name, i, err)
+			if err := inst.Check(src.Mirror()); err != nil {
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at batch %d: %w", algo.Name, scName, i, err)
 			}
 			rep.Checks++
 		}
 		if opt.CheckpointEvery > 0 && (i+1)%opt.CheckpointEvery == 0 {
 			if err := chain.checkpoint(inst, rep); err != nil {
-				return nil, cur, nil, fmt.Errorf("harness: %s over %s: checkpoint at batch %d: %w", algo.Name, sc.Name, i, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s: checkpoint at batch %d: %w", algo.Name, scName, i, err)
 			}
 			pending = pending[:0]
 		}
 		if crash != nil && crash.Crash() {
 			inst, err = killRestore(algo, cur, inst, chain, rep)
 			if err != nil {
-				return nil, cur, nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, sc.Name, i, err)
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s: crash at batch %d: %w", algo.Name, scName, i, err)
 			}
 			rep.Crashes++
 			pending = pending[:0]
 		}
 	}
 	if opt.CheckEvery >= 0 {
-		if err := inst.Check(gen.Mirror()); err != nil {
-			return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at end of stream: %w", algo.Name, sc.Name, err)
+		if err := inst.Check(src.Mirror()); err != nil {
+			return nil, cur, nil, fmt.Errorf("harness: %s over %s diverged at end of stream: %w", algo.Name, scName, err)
 		}
 		rep.Checks++
 		if fc, ok := inst.(finalChecker); ok {
-			if err := fc.FinalCheck(gen.Mirror()); err != nil {
-				return nil, cur, nil, fmt.Errorf("harness: %s over %s failed the final check: %w", algo.Name, sc.Name, err)
+			if err := fc.FinalCheck(src.Mirror()); err != nil {
+				return nil, cur, nil, fmt.Errorf("harness: %s over %s failed the final check: %w", algo.Name, scName, err)
 			}
 			rep.Checks++
 		}
 	}
-	rep.FinalEdges = gen.Mirror().M()
+	rep.FinalEdges = src.Mirror().M()
 	rep.Rounds = inst.Rounds()
 	return inst, cur, rep, nil
+}
+
+// applyChunked feeds one source batch to the instance in pieces of at most
+// size updates: external sources (traces) batch by their own cadence, which
+// need not fit the algorithm's MaxBatch.
+func applyChunked(inst Instance, b graph.Batch, size int) error {
+	for len(b) > size {
+		if err := inst.Apply(b[:size]); err != nil {
+			return err
+		}
+		b = b[size:]
+	}
+	return inst.Apply(b)
 }
 
 // memChain is the harness's in-memory checkpoint chain: a full base
@@ -506,7 +597,7 @@ func killRestore(algo Algorithm, opt Options, inst Instance, chain *memChain, re
 // reshard that onto a fleet one machine smaller, replay the journaled
 // batches, and re-base the checkpoint chain at the new shape. Returns the
 // recovered instance and the shrunken options.
-func faultReshard(algo Algorithm, cur Options, chain *memChain, pending []graph.Batch, rep *Report) (Instance, Options, error) {
+func faultReshard(algo Algorithm, cur Options, chain *memChain, pending []graph.Batch, size int, rep *Report) (Instance, Options, error) {
 	staging, err := algo.New(cur)
 	if err != nil {
 		return nil, cur, fmt.Errorf("staging rebuild: %w", err)
@@ -536,7 +627,7 @@ func faultReshard(algo Algorithm, cur Options, chain *memChain, pending []graph.
 		return nil, cur, fmt.Errorf("reshard onto %d machines: %w", machines-1, err)
 	}
 	for j, b := range pending {
-		if err := fresh.Apply(b); err != nil {
+		if err := applyChunked(fresh, b, size); err != nil {
 			return nil, cur, fmt.Errorf("replay batch %d of %d: %w", j+1, len(pending), err)
 		}
 	}

@@ -179,6 +179,26 @@ func (e *Encoder) writeTo(w io.Writer, magic uint64) (int64, uint64, error) {
 	return int64(n), uint64(crc), err
 }
 
+// WriteContainer serializes the encoder's sections as a container branded
+// with the given magic word, under the same discipline as WriteTo (version
+// word, declared payload length, trailing CRC-32C), and returns the bytes
+// written plus the container identity (the CRC word). Other packages reuse
+// the snapshot container format for their own files — the segmented trace
+// format of internal/trace brands its segments and footer this way — so
+// every on-disk word stream in the repository shares one header/checksum
+// discipline and one corruption-rejection path.
+func (e *Encoder) WriteContainer(w io.Writer, magic uint64) (int64, uint64, error) {
+	return e.writeTo(w, magic)
+}
+
+// NewContainerDecoder is NewDecoder parameterized over the expected magic
+// word: it verifies magic, version, declared length, CRC, and frame
+// structure before handing out a section, returning the container identity
+// alongside. kind names the expected flavor in diagnostics.
+func NewContainerDecoder(r io.Reader, magic uint64, kind string) (*Decoder, uint64, error) {
+	return newDecoder(r, magic, kind)
+}
+
 // Decoder reads a verified snapshot payload section by section. Accessors
 // are sticky: the first structural error (tag mismatch, section underflow)
 // latches, later reads return zero values, and Err/Finish report it.

@@ -6,12 +6,22 @@
 //	#               comment/blank lines are skipped
 //	--              batch separator
 //
-// The format lets cmd/mpcstream replay externally produced traces and lets
-// tests persist regression streams.
+// The text format is the repository's debug/interchange format: it is
+// greppable, diffable, and hand-editable, which is what the golden-trace
+// fixtures and the CI soak scripts want. It is not the at-scale format —
+// multi-gigabyte traces belong in the segmented binary container of
+// internal/trace, which adds per-segment checksums and a seekable index.
+// Both formats replay through the same workload.BatchSource pull interface.
+//
+// Reader and Writer are incremental: a Reader yields one batch per Next
+// call and a Writer serializes one batch per WriteBatch call, so streaming
+// a trace through either end costs O(batch) memory. Read and Write are the
+// materializing wrappers kept for small fixtures.
 package streamio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -20,93 +30,199 @@ import (
 	"repro/internal/graph"
 )
 
-// Read parses a stream into batches.
-func Read(r io.Reader) ([]graph.Batch, error) {
-	var out []graph.Batch
-	var cur graph.Batch
+// maxLineBytes bounds one input line. The default bufio.Scanner limit is
+// 64KB, which a long comment or machine-generated wide line can silently
+// exceed mid-file; the Reader raises the ceiling and, when even this is
+// exceeded, names the offending line instead of returning a bare
+// bufio.ErrTooLong.
+const maxLineBytes = 16 << 20
+
+// Reader parses a stream one batch at a time.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next non-empty batch, or io.EOF when the stream is
+// exhausted. Errors name the offending line.
+func (r *Reader) Next() (graph.Batch, error) {
+	var cur graph.Batch
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		if line == "--" {
 			if len(cur) > 0 {
-				out = append(out, cur)
-				cur = nil
+				return cur, nil
 			}
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 || len(fields) > 4 {
-			return nil, fmt.Errorf("streamio: line %d: want 'op u v [w]', got %q", lineNo, line)
-		}
-		var op graph.Op
-		switch fields[0] {
-		case "i":
-			op = graph.Insert
-		case "d":
-			op = graph.Delete
-		default:
-			return nil, fmt.Errorf("streamio: line %d: unknown op %q", lineNo, fields[0])
-		}
-		u, err := strconv.Atoi(fields[1])
+		up, err := parseUpdate(line, r.line)
 		if err != nil {
-			return nil, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[1])
+			return nil, err
 		}
-		v, err := strconv.Atoi(fields[2])
-		if err != nil {
-			return nil, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[2])
-		}
-		if u == v {
-			return nil, fmt.Errorf("streamio: line %d: self loop", lineNo)
-		}
-		var w int64
-		if len(fields) == 4 {
-			w, err = strconv.ParseInt(fields[3], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("streamio: line %d: bad weight %q", lineNo, fields[3])
-			}
-		}
-		cur = append(cur, graph.Update{Op: op, Edge: graph.NewEdge(u, v), Weight: w})
+		cur = append(cur, up)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("streamio: %w", err)
+	if err := r.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("streamio: line %d: longer than %d bytes", r.line+1, maxLineBytes)
+		}
+		return nil, fmt.Errorf("streamio: line %d: %w", r.line+1, err)
 	}
 	if len(cur) > 0 {
-		out = append(out, cur)
+		return cur, nil
 	}
-	return out, nil
+	return nil, io.EOF
 }
 
-// Write serializes batches in the format Read accepts.
-func Write(w io.Writer, batches []graph.Batch) error {
-	bw := bufio.NewWriter(w)
-	for i, b := range batches {
-		if i > 0 {
-			if _, err := fmt.Fprintln(bw, "--"); err != nil {
-				return err
-			}
-		}
-		for _, u := range b {
-			op := "i"
-			if u.Op == graph.Delete {
-				op = "d"
-			}
-			var err error
-			if u.Weight != 0 {
-				_, err = fmt.Fprintf(bw, "%s %d %d %d\n", op, u.Edge.U, u.Edge.V, u.Weight)
-			} else {
-				_, err = fmt.Fprintf(bw, "%s %d %d\n", op, u.Edge.U, u.Edge.V)
-			}
-			if err != nil {
-				return err
-			}
+// parseUpdate parses one "op u v [w]" line.
+func parseUpdate(line string, lineNo int) (graph.Update, error) {
+	var zero graph.Update
+	fields := strings.Fields(line)
+	if len(fields) < 3 || len(fields) > 4 {
+		return zero, fmt.Errorf("streamio: line %d: want 'op u v [w]', got %q", lineNo, line)
+	}
+	var op graph.Op
+	switch fields[0] {
+	case "i":
+		op = graph.Insert
+	case "d":
+		op = graph.Delete
+	default:
+		return zero, fmt.Errorf("streamio: line %d: unknown op %q", lineNo, fields[0])
+	}
+	u, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return zero, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[1])
+	}
+	v, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return zero, fmt.Errorf("streamio: line %d: bad vertex %q", lineNo, fields[2])
+	}
+	if u == v {
+		return zero, fmt.Errorf("streamio: line %d: self loop", lineNo)
+	}
+	var w int64
+	if len(fields) == 4 {
+		w, err = strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return zero, fmt.Errorf("streamio: line %d: bad weight %q", lineNo, fields[3])
 		}
 	}
-	return bw.Flush()
+	return graph.Update{Op: op, Edge: graph.NewEdge(u, v), Weight: w}, nil
+}
+
+// Read parses a whole stream into materialized batches. Prefer NewReader
+// for anything larger than a test fixture.
+func Read(r io.Reader) ([]graph.Batch, error) {
+	rd := NewReader(r)
+	var out []graph.Batch
+	for {
+		b, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+}
+
+// Writer serializes a stream one batch at a time, in the format Read
+// accepts. Empty batches are skipped — the text format cannot represent
+// them — so WriteBatch composes byte-identically with the materializing
+// Write over the same non-empty batches.
+type Writer struct {
+	bw      *bufio.Writer
+	batches int
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteBatch appends one batch (preceded by a separator when it is not the
+// first). The batch is buffered; call Flush when done.
+func (w *Writer) WriteBatch(b graph.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if w.batches > 0 {
+		if _, err := fmt.Fprintln(w.bw, "--"); err != nil {
+			return err
+		}
+	}
+	w.batches++
+	for _, u := range b {
+		op := "i"
+		if u.Op == graph.Delete {
+			op = "d"
+		}
+		var err error
+		if u.Weight != 0 {
+			_, err = fmt.Fprintf(w.bw, "%s %d %d %d\n", op, u.Edge.U, u.Edge.V, u.Weight)
+		} else {
+			_, err = fmt.Fprintf(w.bw, "%s %d %d\n", op, u.Edge.U, u.Edge.V)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Batches returns the number of non-empty batches written so far.
+func (w *Writer) Batches() int { return w.batches }
+
+// Flush writes any buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Write serializes materialized batches; the incremental equivalent is a
+// WriteBatch loop.
+func Write(w io.Writer, batches []graph.Batch) error {
+	sw := NewWriter(w)
+	for _, b := range batches {
+		if err := sw.WriteBatch(b); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}
+
+// Source is the pull side of a stream, structurally matching
+// workload.BatchSource's Next method (streamio stays import-light, so the
+// interface is redeclared here rather than imported).
+type Source interface {
+	Next() (graph.Batch, error)
+}
+
+// WriteFrom drains src into w incrementally and reports how many non-empty
+// batches were written; the stream is never materialized.
+func WriteFrom(w io.Writer, src Source) (int, error) {
+	sw := NewWriter(w)
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			return sw.Batches(), sw.Flush()
+		}
+		if err != nil {
+			return sw.Batches(), err
+		}
+		if err := sw.WriteBatch(b); err != nil {
+			return sw.Batches(), err
+		}
+	}
 }
 
 // MaxVertex returns the largest vertex id referenced by the batches, or -1
@@ -114,13 +230,8 @@ func Write(w io.Writer, batches []graph.Batch) error {
 func MaxVertex(batches []graph.Batch) int {
 	max := -1
 	for _, b := range batches {
-		for _, u := range b {
-			if u.Edge.V > max {
-				max = u.Edge.V
-			}
-			if u.Edge.U > max {
-				max = u.Edge.U
-			}
+		if m := b.MaxVertex(); m > max {
+			max = m
 		}
 	}
 	return max

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzTraceDecode hammers the trace reader with arbitrary bytes: it must
+// never panic, every accepted trace must replay to exactly the batch count
+// its footer declares, and every batch it yields must be structurally valid
+// already (decodeBatch re-validates on load). The checked-in corpus seeds a
+// valid multi-segment trace plus truncated, bit-flipped, and version-skewed
+// variants.
+func FuzzTraceDecode(f *testing.F) {
+	valid := writeTrace(f, mkBatches(8, 6), WriterOptions{SegmentBatches: 2})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9]) // truncated mid-trailer
+	f.Add(valid[:headerBytes])  // header only
+	f.Add(valid[:len(valid)/2]) // truncated mid-segment
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	skewed := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(skewed[8:], Version+3)
+	f.Add(skewed)
+	// A trailer whose footer offset points into a segment.
+	reoff := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(reoff[len(reoff)-trailerBytes:], headerBytes+8)
+	f.Add(reoff)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: the expected outcome for corrupt input
+		}
+		shape := r.Shape()
+		got := 0
+		for {
+			b, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // detected mid-replay: also fine
+			}
+			if len(b) == 0 {
+				t.Fatal("reader yielded an empty batch")
+			}
+			got++
+			if got > shape.Batches {
+				t.Fatalf("reader yielded %d batches, footer declares %d", got, shape.Batches)
+			}
+		}
+		if got != shape.Batches {
+			t.Fatalf("clean replay yielded %d batches, footer declares %d", got, shape.Batches)
+		}
+	})
+}
+
+// FuzzEdgeListConvert hammers the converter with arbitrary text: it must
+// never panic, and whenever it reports success, the emitted batches must
+// respect the batch invariant (each edge at most once per batch, sizes
+// within BatchSize) and apply cleanly in order to a fresh reference graph —
+// the converter's whole contract is that its output is a valid update
+// stream. The corpus seeds every line format plus assorted malformed input.
+func FuzzEdgeListConvert(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n0 1 0\n1 2 4\n0 1 9\n")
+	f.Add("0 1 7 0\n1 2 3 5\n")
+	f.Add("3 3\n0 1\n0 1\n")
+	f.Add("0 1 5\n1 2 3\n") // decreasing timestamps: must error
+	f.Add("x y\n")
+	f.Add("")
+	f.Add("0 1\n0 1 2 3 4 5\n")
+	f.Add("-1 5\n")
+	f.Add("0 1 0\n0 2 1\n0 3 2\n1 2 3\n1 3 9\n2 3 12\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		var rec sinkRecorder
+		const batchSize = 4
+		stats, err := ConvertEdgeList(strings.NewReader(input), &rec, ConvertOptions{Window: 3, BatchSize: batchSize})
+		if err != nil {
+			return // rejected input: the converter's prerogative
+		}
+		if stats.Updates == 0 || stats.N < 2 || stats.N > MaxVertices {
+			t.Fatalf("success with stats %+v", stats)
+		}
+		// Mirror-apply the stream only when the vertex space is small enough
+		// to allocate; a sparse id near MaxVertices is valid converter output
+		// but not something a fuzz iteration should size a graph for.
+		var g *graph.Graph
+		if stats.N <= 1<<20 {
+			g = graph.New(stats.N)
+		}
+		total := 0
+		for i, b := range rec.batches {
+			if len(b) == 0 || len(b) > batchSize {
+				t.Fatalf("batch %d has %d updates, want 1..%d", i, len(b), batchSize)
+			}
+			seen := map[graph.Edge]bool{}
+			for _, u := range b {
+				if seen[u.Edge] {
+					t.Fatalf("batch %d touches %v twice", i, u.Edge)
+				}
+				seen[u.Edge] = true
+			}
+			if g != nil {
+				if err := g.Apply(b); err != nil {
+					t.Fatalf("batch %d does not apply: %v", i, err)
+				}
+			}
+			total += len(b)
+		}
+		if total != stats.Updates {
+			t.Fatalf("sink saw %d updates, stats claim %d", total, stats.Updates)
+		}
+		// Success must also round-trip through the binary container.
+		raw := writeTrace(t, rec.batches, WriterOptions{N: stats.N})
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("converted stream rejected by its own container: %v", err)
+		}
+		n := 0
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if n != len(rec.batches) {
+			t.Fatalf("container round-trip lost batches: %d vs %d", n, len(rec.batches))
+		}
+	})
+}

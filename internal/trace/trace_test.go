@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mkBatches builds a deterministic stream of structurally valid batches
+// over n vertices: each batch touches distinct edges, no self-loops, a few
+// deletions and weights mixed in.
+func mkBatches(n, batches int) []graph.Batch {
+	var out []graph.Batch
+	for i := 0; i < batches; i++ {
+		var b graph.Batch
+		for j := 0; j < 1+i%3; j++ {
+			u := (i + j) % n
+			v := (i + j + 1 + i%2) % n
+			if u == v {
+				v = (v + 1) % n
+			}
+			up := graph.Ins(u, v)
+			if i%4 == 3 {
+				up = graph.Del(u, v)
+			}
+			if i%5 == 2 {
+				up.Weight = int64(1 + j)
+			}
+			b = append(b, up)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// writeTrace encodes batches with the given options and returns the bytes.
+func writeTrace(t testing.TB, batches []graph.Batch, opt WriterOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain pulls a reader to io.EOF.
+func drain(t testing.TB, r *Reader) []graph.Batch {
+	t.Helper()
+	var out []graph.Batch
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+}
+
+// TestTraceRoundTrip writes a multi-segment trace and reads it back: the
+// batch sequence, shape echo, and segment count must all survive.
+func TestTraceRoundTrip(t *testing.T) {
+	const n, batches, segBatches = 12, 10, 4
+	in := mkBatches(n, batches)
+	raw := writeTrace(t, in, WriterOptions{SegmentBatches: segBatches})
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (batches + segBatches - 1) / segBatches; r.Segments() != want {
+		t.Errorf("Segments() = %d, want %d", r.Segments(), want)
+	}
+	shape := r.Shape()
+	updates := 0
+	maxV := -1
+	for _, b := range in {
+		updates += len(b)
+		if m := b.MaxVertex(); m > maxV {
+			maxV = m
+		}
+	}
+	if shape.N != maxV+1 || shape.Batches != batches || shape.Updates != updates || !shape.Weighted {
+		t.Errorf("Shape() = %+v, want N=%d Batches=%d Updates=%d Weighted=true", shape, maxV+1, batches, updates)
+	}
+	got := drain(t, r)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip changed the stream:\n got %v\nwant %v", got, in)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("exhausted reader returned %v, want io.EOF", err)
+	}
+}
+
+// TestTraceWriterSkipsEmptyBatches pins the bit-identity contract with the
+// text format: empty batches vanish on write, so the decoded sequence holds
+// only the non-empty ones.
+func TestTraceWriterSkipsEmptyBatches(t *testing.T) {
+	in := []graph.Batch{{graph.Ins(0, 1)}, nil, {}, {graph.Ins(1, 2)}}
+	raw := writeTrace(t, in, WriterOptions{})
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, r)
+	want := []graph.Batch{{graph.Ins(0, 1)}, {graph.Ins(1, 2)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want empties skipped: %v", got, want)
+	}
+	if r.Shape().Batches != 2 {
+		t.Errorf("shape counts %d batches, want 2", r.Shape().Batches)
+	}
+}
+
+// TestTraceWriterValidation covers the writer's rejection paths.
+func TestTraceWriterValidation(t *testing.T) {
+	t.Run("negative vertex", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := graph.Batch{{Op: graph.Insert, Edge: graph.Edge{U: -1, V: 2}}}
+		if err := w.WriteBatch(bad); err == nil {
+			t.Fatal("negative vertex accepted")
+		}
+	})
+	t.Run("declared vertex space too small", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, WriterOptions{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteBatch(graph.Batch{graph.Ins(0, 9)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err == nil {
+			t.Fatal("Close accepted vertex 9 in a declared space of 3")
+		}
+	})
+	t.Run("write after close", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteBatch(graph.Batch{graph.Ins(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteBatch(graph.Batch{graph.Ins(1, 2)}); err == nil {
+			t.Fatal("WriteBatch after Close accepted")
+		}
+	})
+	t.Run("declared N echoed", func(t *testing.T) {
+		raw := writeTrace(t, []graph.Batch{{graph.Ins(0, 1)}}, WriterOptions{N: 64})
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Shape().N; got != 64 {
+			t.Errorf("Shape().N = %d, want the declared 64", got)
+		}
+	})
+}
+
+// TestTraceSeekBatch checks the footer-index seek: from every batch index,
+// the remaining replay must equal the original suffix, and seeking to the
+// end must report io.EOF.
+func TestTraceSeekBatch(t *testing.T) {
+	const n, batches = 10, 11
+	in := mkBatches(n, batches)
+	raw := writeTrace(t, in, WriterOptions{SegmentBatches: 3})
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the indices out of order to exercise backward seeks too.
+	order := []int{5, 0, 10, 3, 8, 1, 9, 2, 7, 4, 6}
+	for _, idx := range order {
+		if err := r.SeekBatch(idx); err != nil {
+			t.Fatalf("SeekBatch(%d): %v", idx, err)
+		}
+		got := drain(t, r)
+		if !reflect.DeepEqual(got, in[idx:]) {
+			t.Fatalf("SeekBatch(%d): suffix of %d batches, want %d", idx, len(got), len(in)-idx)
+		}
+	}
+	if err := r.SeekBatch(batches); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("seek to end then Next = %v, want io.EOF", err)
+	}
+	if err := r.SeekBatch(-1); err == nil {
+		t.Error("SeekBatch(-1) accepted")
+	}
+	if err := r.SeekBatch(batches + 1); err == nil {
+		t.Error("SeekBatch past the end accepted")
+	}
+}
+
+// TestTraceResumeMatchesFullReplay mirrors the CLI resume path: a fresh
+// reader seeked to the checkpoint batch must continue exactly where a
+// partial replay stopped.
+func TestTraceResumeMatchesFullReplay(t *testing.T) {
+	const n, batches, resumeAt = 9, 13, 7
+	in := mkBatches(n, batches)
+	raw := writeTrace(t, in, WriterOptions{SegmentBatches: 4})
+	a, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []graph.Batch
+	for i := 0; i < resumeAt; i++ {
+		b, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed = append(replayed, b)
+	}
+	b2, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.SeekBatch(resumeAt); err != nil {
+		t.Fatal(err)
+	}
+	replayed = append(replayed, drain(t, b2)...)
+	if !reflect.DeepEqual(replayed, in) {
+		t.Fatal("prefix + resumed suffix differs from the full stream")
+	}
+}
+
+// TestTraceReplayMemoryBounded replays a trace much larger than one segment
+// and asserts the O(segment) contract: the reader never buffers more than
+// SegmentBatches decoded batches at once.
+func TestTraceReplayMemoryBounded(t *testing.T) {
+	const n, batches, segBatches = 16, 100, 8
+	if batches <= segBatches {
+		t.Fatal("test misconfigured: the trace must exceed the batch buffer")
+	}
+	in := mkBatches(n, batches)
+	raw := writeTrace(t, in, WriterOptions{SegmentBatches: segBatches})
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, r); len(got) != batches {
+		t.Fatalf("drained %d batches, want %d", len(got), batches)
+	}
+	if hw := r.BufferedHighWater(); hw > segBatches {
+		t.Errorf("buffered %d batches at once, O(segment) bound is %d", hw, segBatches)
+	}
+	// A seek into the last segment must stay bounded too.
+	r2, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.SeekBatch(batches - 1); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, r2)
+	if hw := r2.BufferedHighWater(); hw > segBatches {
+		t.Errorf("seek+drain buffered %d batches, bound is %d", hw, segBatches)
+	}
+}
+
+// corruptible builds a small valid trace for the corruption tests.
+func corruptible(t testing.TB) []byte {
+	t.Helper()
+	return writeTrace(t, mkBatches(8, 6), WriterOptions{SegmentBatches: 2})
+}
+
+// readAll opens raw as a trace and replays it to the end, returning the
+// first error (NewReader or Next).
+func readAll(raw []byte) error {
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// TestTraceRejectsTruncation cuts a valid trace at several boundaries: the
+// reader must refuse each, never return a silently shortened stream.
+func TestTraceRejectsTruncation(t *testing.T) {
+	raw := corruptible(t)
+	for _, cut := range []int{0, 1, headerBytes - 1, headerBytes, len(raw) / 2, len(raw) - trailerBytes, len(raw) - 1} {
+		if err := readAll(raw[:cut]); err == nil {
+			t.Errorf("trace truncated to %d of %d bytes replayed cleanly", cut, len(raw))
+		}
+	}
+}
+
+// TestTraceRejectsBitFlips flips one bit in every byte of a valid trace;
+// each flip must surface as an error (bad magic, CRC mismatch, or a failed
+// structural check) somewhere before the replay completes.
+func TestTraceRejectsBitFlips(t *testing.T) {
+	raw := corruptible(t)
+	if err := readAll(raw); err != nil {
+		t.Fatalf("pristine trace failed: %v", err)
+	}
+	mut := make([]byte, len(raw))
+	for off := 0; off < len(raw); off++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			copy(mut, raw)
+			mut[off] ^= bit
+			if err := readAll(mut); err == nil {
+				t.Fatalf("flip of bit %#x at byte %d/%d went undetected", bit, off, len(raw))
+			}
+		}
+	}
+}
+
+// TestTraceRejectsVersionSkew bumps the header version word: readers must
+// reject future formats with a diagnostic, never guess.
+func TestTraceRejectsVersionSkew(t *testing.T) {
+	raw := corruptible(t)
+	skewed := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(skewed[8:], Version+1)
+	err := readAll(skewed)
+	if err == nil {
+		t.Fatal("future-version trace accepted")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-skew error %q does not name the version", err)
+	}
+}
+
+// TestTraceRejectsForeignFile feeds non-trace bytes to the reader.
+func TestTraceRejectsForeignFile(t *testing.T) {
+	for _, raw := range [][]byte{
+		[]byte("i 0 1\nd 0 1\n"),
+		bytes.Repeat([]byte{0xff}, 96),
+		make([]byte, 96),
+	} {
+		if err := readAll(raw); err == nil {
+			t.Errorf("non-trace input of %d bytes accepted", len(raw))
+		}
+	}
+}

@@ -75,70 +75,10 @@ func Names() []string {
 
 // Record drives gen for the given number of batches and returns the emitted
 // stream, dropping empty batches (a stalled generator emits nothing rather
-// than an invalid update). The result serializes with streamio.Write into
-// the .stream golden format and replays with NewReplay.
+// than an invalid update). It is the materializing convenience over
+// NewGeneratorSource for in-memory fixtures; golden-trace regeneration
+// streams through streamio.WriteFrom instead and never buffers twice.
 func Record(gen Generator, batches, size int) []graph.Batch {
-	var out []graph.Batch
-	for i := 0; i < batches; i++ {
-		if b := gen.Next(size); len(b) > 0 {
-			out = append(out, b)
-		}
-	}
+	out, _ := Drain(NewGeneratorSource(gen, batches, size))
 	return out
-}
-
-// Replay is a Generator that replays a recorded stream (e.g. one parsed
-// from a .stream file), re-validating every batch against its own mirror,
-// so a corrupted trace fails loudly instead of feeding an algorithm an
-// invalid update.
-type Replay struct {
-	g       *graph.Graph
-	batches []graph.Batch
-	next    int
-	// off is the number of updates of batches[next] already emitted (a
-	// split batch is consumed in place without mutating the caller's
-	// slice, so the same recording can back several replays).
-	off int
-}
-
-// NewReplay returns a replay generator over n vertices. The recorded batch
-// boundaries are preserved; Next's size argument only caps how much of the
-// current recorded batch is emitted at once.
-func NewReplay(n int, batches []graph.Batch) *Replay {
-	return &Replay{g: graph.New(n), batches: batches}
-}
-
-// NewReplayFrom returns a replay generator whose mirror starts from g
-// instead of an empty graph: the checkpoint-resume path of the CLIs, where
-// a recorded stream continues a restored graph. The replay owns g
-// afterwards.
-func NewReplayFrom(g *graph.Graph, batches []graph.Batch) *Replay {
-	return &Replay{g: g, batches: batches}
-}
-
-// Mirror returns the reference graph of the replayed prefix.
-func (r *Replay) Mirror() *graph.Graph { return r.g }
-
-// Done reports whether the recorded stream is exhausted.
-func (r *Replay) Done() bool { return r.next >= len(r.batches) }
-
-// Next emits the next recorded batch, split if it exceeds size. It panics
-// if the recorded stream is not valid against the mirror.
-func (r *Replay) Next(size int) graph.Batch {
-	if r.Done() {
-		return nil
-	}
-	b := r.batches[r.next][r.off:]
-	if size < len(b) {
-		// Split: emit a prefix and remember how far we got.
-		r.off += size
-		b = b[:size]
-	} else {
-		r.next++
-		r.off = 0
-	}
-	if err := r.g.Apply(b); err != nil {
-		panic(fmt.Sprintf("workload: replayed stream invalid: %v", err))
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"io"
 	"reflect"
 	"sort"
 	"testing"
@@ -227,33 +228,70 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp := NewReplay(n, parsed)
-	for !rp.Done() {
-		if b := rp.Next(1 << 20); len(b) == 0 {
-			t.Fatal("replay stalled")
-		}
+	rp := NewMirrored(NewSliceSource(n, parsed))
+	replayed, err := Drain(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(parsed) {
+		t.Fatalf("replayed %d batches, parsed %d", len(replayed), len(parsed))
 	}
 	if got, want := edgeSet(rp.Mirror()), edgeSet(gen.Mirror()); !reflect.DeepEqual(got, want) {
 		t.Fatalf("replayed mirror differs: %v vs %v", got, want)
 	}
 }
 
-// TestReplaySplitsOversizedBatches checks that Replay honours the size cap
-// while preserving the update order.
-func TestReplaySplitsOversizedBatches(t *testing.T) {
-	batches := []graph.Batch{{graph.Ins(0, 1), graph.Ins(1, 2), graph.Ins(2, 3)}}
-	rp := NewReplay(4, batches)
-	var got graph.Batch
-	for !rp.Done() {
-		b := rp.Next(2)
-		if len(b) > 2 {
-			t.Fatalf("batch of %d exceeds cap", len(b))
-		}
-		got = append(got, b...)
+// TestMirroredRejectsInvalidStreams checks that Mirrored.Next surfaces
+// descriptive errors (not panics) for streams that are inconsistent with
+// their own history or reference vertices outside the declared space.
+func TestMirroredRejectsInvalidStreams(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []graph.Batch
+	}{
+		{"duplicate insert", []graph.Batch{{graph.Ins(0, 1)}, {graph.Ins(0, 1)}}},
+		{"delete absent", []graph.Batch{{graph.Del(2, 3)}}},
+		{"vertex out of range", []graph.Batch{{graph.Ins(0, 99)}}},
 	}
-	want := graph.Batch{graph.Ins(0, 1), graph.Ins(1, 2), graph.Ins(2, 3)}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("replay reordered: %v", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Drain(NewMirrored(NewSliceSource(4, tc.batches))); err == nil {
+				t.Fatal("invalid stream replayed without error")
+			}
+		})
+	}
+}
+
+// TestGeneratorSourcePreservesIndices checks that the generator shim emits
+// exactly the requested number of batches (empties included) before io.EOF,
+// so consumers indexing batches (CheckEvery, crash schedules) stay aligned
+// with the generator's own iteration count.
+func TestGeneratorSourcePreservesIndices(t *testing.T) {
+	sc, err := Get("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 7
+	src := NewGeneratorSource(sc.New(16, 3), batches, 8)
+	got := 0
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 8 {
+			t.Fatalf("batch of %d exceeds size cap", len(b))
+		}
+		got++
+	}
+	if got != batches {
+		t.Fatalf("source emitted %d batches, want %d", got, batches)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
 	}
 }
 

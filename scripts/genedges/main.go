@@ -1,0 +1,99 @@
+// Command genedges emits a deterministic SNAP-style timestamped edge list
+// for exercising the trace converter (internal/trace.ConvertEdgeList): a
+// clustered collaboration-network shape with occasional duplicate and
+// self-loop lines, so the converter's normalization diagnostics have
+// something to count. The CI trace-replay soak generates its input with
+// this tool, and internal/trace/testdata/collab32.edges is a checked-in
+// run of it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hash"
+)
+
+func main() {
+	n := flag.Int("n", 32, "number of vertices")
+	edges := flag.Int("edges", 200, "number of edge lines to emit (including duplicates/self-loops)")
+	seed := flag.Uint64("seed", 1, "PRG seed")
+	maxWeight := flag.Int64("weights", 0, "max edge weight; 0 emits unweighted 'u v t' lines, > 0 emits 'u v w t'")
+	clusters := flag.Int("clusters", 4, "number of vertex clusters; most edges stay intra-cluster")
+	dupPerMille := flag.Int("dup", 60, "per-line probability (per mille) of repeating an earlier line verbatim")
+	selfPerMille := flag.Int("self", 20, "per-line probability (per mille) of a self-loop line")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	if *n < 4 || *edges < 1 || *clusters < 1 || *clusters > *n {
+		fmt.Fprintln(os.Stderr, "genedges: need -n >= 4, -edges >= 1, 1 <= -clusters <= n")
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genedges:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	prg := hash.NewPRG(*seed)
+	csize := (*n + *clusters - 1) / *clusters
+	fmt.Fprintf(w, "# genedges -n %d -edges %d -seed %d -weights %d -clusters %d -dup %d -self %d\n",
+		*n, *edges, *seed, *maxWeight, *clusters, *dupPerMille, *selfPerMille)
+	fmt.Fprintf(w, "# fields: u v%s t (timestamps non-decreasing)\n", map[bool]string{true: " w"}[*maxWeight > 0])
+
+	randIn := func(c int) int {
+		lo := c * csize
+		hi := lo + csize
+		if hi > *n {
+			hi = *n
+		}
+		return lo + int(prg.NextN(uint64(hi-lo)))
+	}
+	var t int64
+	var prev []string
+	for i := 0; i < *edges; i++ {
+		t += int64(prg.NextN(3)) // non-decreasing, with repeated timestamps
+		roll := int(prg.NextN(1000))
+		var line string
+		switch {
+		case roll < *dupPerMille && len(prev) > 0:
+			// Repeat an earlier line with the current timestamp; the edge is
+			// usually still live, so the converter counts a duplicate.
+			line = prev[prg.NextN(uint64(len(prev)))]
+		case roll < *dupPerMille+*selfPerMille:
+			u := int(prg.NextN(uint64(*n)))
+			line = edgeLine(u, u, *maxWeight, prg)
+		default:
+			c := int(prg.NextN(uint64(*clusters)))
+			u := randIn(c)
+			v := u
+			for v == u {
+				if prg.NextN(10) < 8 { // mostly intra-cluster
+					v = randIn(c)
+				} else {
+					v = int(prg.NextN(uint64(*n)))
+				}
+			}
+			line = edgeLine(u, v, *maxWeight, prg)
+			prev = append(prev, line)
+		}
+		fmt.Fprintf(w, "%s %d\n", line, t)
+	}
+}
+
+// edgeLine renders "u v" or "u v w" (the timestamp is appended by the
+// caller, so duplicate lines can be re-stamped with the current time).
+func edgeLine(u, v int, maxWeight int64, prg *hash.PRG) string {
+	if maxWeight > 0 {
+		return fmt.Sprintf("%d %d %d", u, v, int64(prg.NextN(uint64(maxWeight)))+1)
+	}
+	return fmt.Sprintf("%d %d", u, v)
+}
